@@ -1,0 +1,67 @@
+//! Full-engine throughput: PD² scheduling + affinity dispatch + accounting
+//! per slot, across policies (the ablation's time dimension), plus the
+//! global-EDF baseline simulator.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pfair_bench::quantum_workload;
+use pfair_core::sched::SchedConfig;
+use pfair_core::Policy;
+use sched_sim::global_edf::dhall_task_set;
+use sched_sim::{GlobalEdfSim, MultiSim};
+use std::hint::black_box;
+
+fn engine_slots(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_slots");
+    const SLOTS: u64 = 1_000;
+    for pol in Policy::ALL {
+        for &(n, m) in &[(100usize, 4u32), (500, 8)] {
+            let tasks = quantum_workload(n, m, 21);
+            group.throughput(Throughput::Elements(SLOTS));
+            group.bench_with_input(
+                BenchmarkId::new(pol.name(), format!("{n}x{m}")),
+                &tasks,
+                |b, tasks| {
+                    b.iter(|| {
+                        let mut sim =
+                            MultiSim::new(tasks, SchedConfig::pd2(m).with_policy(pol));
+                        black_box(sim.run(SLOTS).allocated_quanta)
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn global_edf_slots(c: &mut Criterion) {
+    let mut group = c.benchmark_group("global_edf_slots");
+    const SLOTS: u64 = 1_000;
+    for &m in &[4u32, 16] {
+        let tasks = dhall_task_set(m, 100);
+        group.throughput(Throughput::Elements(SLOTS));
+        group.bench_with_input(BenchmarkId::from_parameter(m), &tasks, |b, tasks| {
+            b.iter(|| {
+                let mut sim = GlobalEdfSim::new(tasks, m);
+                black_box(sim.run(SLOTS).allocated_quanta)
+            });
+        });
+    }
+    group.finish();
+}
+
+/// Trimmed criterion settings: the benches compare alternatives spanning
+/// orders of magnitude, so short measurement windows resolve them fine —
+/// and the full suite stays minutes, not hours, on one core.
+fn quick_config() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+}
+
+criterion_group! {
+    name = benches;
+    config = quick_config();
+    targets = engine_slots, global_edf_slots
+}
+criterion_main!(benches);

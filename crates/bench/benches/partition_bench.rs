@@ -1,0 +1,126 @@
+//! Partitioning heuristics at paper scale: plain EDF-utilization packing
+//! (FF/BF/WF, ± decreasing), the overhead-aware EDF-FF of Equation (3),
+//! and the exact-RM acceptance that the paper warns turns partitioning
+//! into variable-sized-bin packing.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use overhead::OverheadParams;
+use partition::{
+    partition_unbounded, EdfOverheadAware, EdfUtilization, Heuristic, RmExact, SortOrder,
+};
+use pfair_bench::phys_pairs;
+use pfair_model::PhysTask;
+use std::hint::black_box;
+
+fn keys_for(pairs: &[(u64, u64)]) -> impl Fn(usize) -> (f64, u64) + '_ {
+    move |i| {
+        let (e, p) = pairs[i];
+        (e as f64 / p as f64, p)
+    }
+}
+
+fn heuristics(c: &mut Criterion) {
+    let mut group = c.benchmark_group("partition_heuristics");
+    for &n in &[100usize, 1000] {
+        let pairs = phys_pairs(n, n as f64 / 4.0, 7);
+        let acc = EdfUtilization::new(&pairs);
+        for h in Heuristic::ALL {
+            group.bench_with_input(
+                BenchmarkId::new(h.name(), n),
+                &pairs,
+                |b, pairs| {
+                    b.iter(|| {
+                        let r = partition_unbounded(
+                            pairs.len(),
+                            &acc,
+                            h,
+                            SortOrder::None,
+                            keys_for(pairs),
+                        );
+                        black_box(r.map(|r| r.processors))
+                    });
+                },
+            );
+        }
+        // FFD pays an extra sort.
+        group.bench_with_input(BenchmarkId::new("FFD", n), &pairs, |b, pairs| {
+            b.iter(|| {
+                let r = partition_unbounded(
+                    pairs.len(),
+                    &acc,
+                    Heuristic::FirstFit,
+                    SortOrder::DecreasingUtilization,
+                    keys_for(pairs),
+                );
+                black_box(r.map(|r| r.processors))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn overhead_aware_ff(c: &mut Criterion) {
+    let mut group = c.benchmark_group("edf_ff_overhead_aware");
+    for &n in &[50usize, 250, 1000] {
+        let pairs = phys_pairs(n, n as f64 / 5.0, 11);
+        let tasks: Vec<PhysTask> = pairs
+            .iter()
+            .map(|&(e, p)| PhysTask::new(e, p))
+            .collect();
+        let d = vec![33.3; n];
+        let acc = EdfOverheadAware::new(&tasks, &d, OverheadParams::paper2003());
+        group.bench_with_input(BenchmarkId::from_parameter(n), &tasks, |b, tasks| {
+            b.iter(|| {
+                let r = partition_unbounded(
+                    tasks.len(),
+                    &acc,
+                    Heuristic::FirstFit,
+                    SortOrder::DecreasingPeriod,
+                    |i| (tasks[i].utilization(), tasks[i].period_us),
+                );
+                black_box(r.map(|r| r.processors))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn rm_exact_packing(c: &mut Criterion) {
+    // The "variable-sized bins" cost: exact TDA re-runs per acceptance.
+    let mut group = c.benchmark_group("rm_exact_packing");
+    group.sample_size(20);
+    for &n in &[50usize, 150] {
+        let pairs = phys_pairs(n, n as f64 / 5.0, 13);
+        let acc = RmExact::new(&pairs);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &pairs, |b, pairs| {
+            b.iter(|| {
+                let r = partition_unbounded(
+                    pairs.len(),
+                    &acc,
+                    Heuristic::FirstFit,
+                    SortOrder::None,
+                    keys_for(pairs),
+                );
+                black_box(r.map(|r| r.processors))
+            });
+        });
+    }
+    group.finish();
+}
+
+/// Trimmed criterion settings: the benches compare alternatives spanning
+/// orders of magnitude, so short measurement windows resolve them fine —
+/// and the full suite stays minutes, not hours, on one core.
+fn quick_config() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+}
+
+criterion_group! {
+    name = benches;
+    config = quick_config();
+    targets = heuristics, overhead_aware_ff, rm_exact_packing
+}
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! Tie-break ablation bench: how much do the tie-break rules cost per
+//! comparison? PD²'s two O(1) tie-breaks should be nearly free next to
+//! EPDF's bare deadline compare, while PF's recursive b-bit chain pays per
+//! step — the efficiency argument for PD² (paper, Section 2).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pfair_core::priority::{compare, Policy, SubtaskTag};
+use pfair_model::{TaskId, Weight};
+use std::hint::black_box;
+
+/// A pool of tags engineered to collide on deadlines often (tie-breaks on
+/// the hot path).
+fn tag_pool() -> Vec<SubtaskTag> {
+    let weights = [
+        (8u64, 11u64),
+        (5, 7),
+        (3, 4),
+        (2, 3),
+        (1, 2),
+        (7, 9),
+        (9, 13),
+        (4, 5),
+        (1, 3),
+        (2, 9),
+    ];
+    let mut tags = Vec::new();
+    for (id, &(e, p)) in weights.iter().enumerate() {
+        let w = Weight::new(e, p).unwrap();
+        for i in 1..=64u64 {
+            tags.push(SubtaskTag::new(TaskId(id as u32), w, i, 0));
+        }
+    }
+    tags
+}
+
+fn priority_cmp(c: &mut Criterion) {
+    let tags = tag_pool();
+    let mut group = c.benchmark_group("priority_cmp");
+    for pol in Policy::ALL {
+        group.bench_with_input(BenchmarkId::from_parameter(pol.name()), &pol, |b, &pol| {
+            b.iter(|| {
+                let mut acc = 0usize;
+                for (i, a) in tags.iter().enumerate() {
+                    let bt = &tags[(i * 7 + 13) % tags.len()];
+                    if compare(pol, a, bt).is_lt() {
+                        acc += 1;
+                    }
+                }
+                black_box(acc)
+            });
+        });
+    }
+    group.finish();
+}
+
+/// Trimmed criterion settings: the benches compare alternatives spanning
+/// orders of magnitude, so short measurement windows resolve them fine —
+/// and the full suite stays minutes, not hours, on one core.
+fn quick_config() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+}
+
+criterion_group! {
+    name = benches;
+    config = quick_config();
+    targets = priority_cmp
+}
+criterion_main!(benches);

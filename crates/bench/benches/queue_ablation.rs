@@ -1,0 +1,58 @@
+//! Ready-queue ablation: how much of the PD² scheduling overhead is the
+//! data structure? The paper measured binary heaps; this bench reruns the
+//! Fig. 2(a)-style tick measurement under all three [`QueueKind`]s.
+//!
+//! Expected shape: sorted-vec wins for small N (cache-friendly, O(1) pop),
+//! the heap wins as N grows, linear scan degrades fastest — i.e. the
+//! paper's absolute overhead numbers are partly a data-structure choice,
+//! while the growth-with-N claim is robust across all three.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pfair_bench::quantum_workload;
+use pfair_core::queue::QueueKind;
+use pfair_core::sched::{PfairScheduler, SchedConfig};
+use std::hint::black_box;
+
+fn queue_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pd2_tick_by_queue");
+    for kind in QueueKind::ALL {
+        for &n in &[50usize, 250, 1000] {
+            let tasks = quantum_workload(n, 4, 42);
+            group.throughput(Throughput::Elements(1));
+            group.bench_with_input(
+                BenchmarkId::new(kind.name(), n),
+                &tasks,
+                |b, tasks| {
+                    let cfg = SchedConfig::pd2(4).with_queue(kind);
+                    let mut sched = PfairScheduler::new(tasks, cfg);
+                    let mut now = 0u64;
+                    let mut out = Vec::with_capacity(4);
+                    b.iter(|| {
+                        out.clear();
+                        sched.tick(now, &mut out);
+                        now += 1;
+                        black_box(out.len())
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+/// Trimmed criterion settings: the benches compare alternatives spanning
+/// orders of magnitude, so short measurement windows resolve them fine —
+/// and the full suite stays minutes, not hours, on one core.
+fn quick_config() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+}
+
+criterion_group! {
+    name = benches;
+    config = quick_config();
+    targets = queue_ablation
+}
+criterion_main!(benches);

@@ -1,0 +1,75 @@
+//! Fig. 2 as a criterion bench: per-invocation scheduler cost.
+//!
+//! `pd2_tick/{m}procs/{n}` measures one PD² scheduling slot (the paper's
+//! "per invocation"); `edf_invocation/{n}` measures the event-driven EDF
+//! simulator normalized per scheduler invocation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pfair_bench::{phys_pairs, quantum_workload};
+use pfair_core::sched::{PfairScheduler, SchedConfig};
+use std::hint::black_box;
+use uniproc::{Discipline, UniSim};
+
+fn pd2_tick(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pd2_tick");
+    for &m in &[1u32, 4, 16] {
+        for &n in &[50usize, 250, 1000] {
+            let tasks = quantum_workload(n, m, 42);
+            group.throughput(Throughput::Elements(1));
+            group.bench_with_input(
+                BenchmarkId::new(format!("{m}procs"), n),
+                &tasks,
+                |b, tasks| {
+                    // Iterate over a long-lived scheduler; each iteration is
+                    // one slot. Rebuild when the batch is exhausted.
+                    let mut sched = PfairScheduler::new(tasks, SchedConfig::pd2(m));
+                    let mut now = 0u64;
+                    let mut out = Vec::with_capacity(m as usize);
+                    b.iter(|| {
+                        out.clear();
+                        sched.tick(now, &mut out);
+                        now += 1;
+                        black_box(out.len())
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn edf_invocation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("edf_invocation");
+    for &n in &[50usize, 250, 1000] {
+        let pairs = phys_pairs(n, 0.9, 42);
+        // Pre-measure invocations per unit horizon to normalize.
+        let horizon = 200_000u64;
+        let mut probe = UniSim::new(&pairs, Discipline::Edf);
+        let invocations = probe.run(horizon).invocations.max(1);
+        group.throughput(Throughput::Elements(invocations));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &pairs, |b, pairs| {
+            b.iter(|| {
+                let mut sim = UniSim::new(pairs, Discipline::Edf);
+                black_box(sim.run(horizon).invocations)
+            });
+        });
+    }
+    group.finish();
+}
+
+/// Trimmed criterion settings: the benches compare alternatives spanning
+/// orders of magnitude, so short measurement windows resolve them fine —
+/// and the full suite stays minutes, not hours, on one core.
+fn quick_config() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+}
+
+criterion_group! {
+    name = benches;
+    config = quick_config();
+    targets = pd2_tick, edf_invocation
+}
+criterion_main!(benches);

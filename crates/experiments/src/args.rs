@@ -1,0 +1,104 @@
+//! Minimal command-line flag parsing (hand-rolled to keep the dependency
+//! set inside the approved list).
+
+use std::collections::HashMap;
+
+/// Parsed `--key value` / `--flag` arguments.
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    values: HashMap<String, String>,
+    flags: Vec<String>,
+}
+
+impl Args {
+    /// Parses the process arguments. `--key value` pairs become values;
+    /// bare `--flag`s (followed by another `--…` or nothing) become flags.
+    pub fn parse() -> Self {
+        Self::from_args(std::env::args().skip(1))
+    }
+
+    /// Parses from an explicit iterator (testable).
+    pub fn from_args<I, S>(iter: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let items: Vec<String> = iter.into_iter().map(Into::into).collect();
+        let mut args = Args::default();
+        let mut i = 0;
+        while i < items.len() {
+            let item = &items[i];
+            if let Some(key) = item.strip_prefix("--") {
+                let next_is_value = items
+                    .get(i + 1)
+                    .map(|n| !n.starts_with("--"))
+                    .unwrap_or(false);
+                if next_is_value {
+                    args.values.insert(key.to_string(), items[i + 1].clone());
+                    i += 2;
+                } else {
+                    args.flags.push(key.to_string());
+                    i += 1;
+                }
+            } else {
+                i += 1; // ignore stray positional
+            }
+        }
+        args
+    }
+
+    /// True iff `--name` was given as a bare flag.
+    pub fn flag(&self, name: &str) -> bool {
+        self.flags.iter().any(|f| f == name)
+    }
+
+    /// The raw value of `--name`, if present.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.values.get(name).map(String::as_str)
+    }
+
+    /// Parses `--name` as `T`, with a default.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a clear message if the value fails to parse.
+    pub fn get_or<T: std::str::FromStr>(&self, name: &str, default: T) -> T
+    where
+        T::Err: std::fmt::Display,
+    {
+        match self.get(name) {
+            None => default,
+            Some(raw) => raw
+                .parse()
+                .unwrap_or_else(|e| panic!("--{name} {raw}: {e}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_pairs_and_flags() {
+        let a = Args::from_args(["--tasks", "50", "--csv", "--seed", "7"]);
+        assert_eq!(a.get_or("tasks", 0usize), 50);
+        assert_eq!(a.get_or("seed", 1u64), 7);
+        assert!(a.flag("csv"));
+        assert!(!a.flag("verbose"));
+        assert_eq!(a.get_or("sets", 100usize), 100);
+    }
+
+    #[test]
+    fn trailing_flag() {
+        let a = Args::from_args(["--csv"]);
+        assert!(a.flag("csv"));
+    }
+
+    #[test]
+    #[should_panic(expected = "--tasks")]
+    fn bad_value_panics() {
+        let a = Args::from_args(["--tasks", "fifty"]);
+        let _: usize = a.get_or("tasks", 0);
+    }
+}

@@ -1,0 +1,40 @@
+//! Fig. 2(a): per-invocation scheduling overhead of EDF and PD² on one
+//! processor, as a function of task count.
+//!
+//! ```text
+//! cargo run --release -p experiments --bin fig2a -- [--sets 100] [--horizon 1000000] [--seed 1] [--csv]
+//! ```
+
+use experiments::fig2::{measure_edf, measure_pd2, PAPER_TASK_COUNTS};
+use experiments::Args;
+use stats::{ci99_halfwidth, Table};
+
+fn main() {
+    let args = Args::parse();
+    let sets: usize = args.get_or("sets", 100);
+    let horizon_us: u64 = args.get_or("horizon", 1_000_000);
+    let horizon_slots: u64 = args.get_or("slots", 20_000);
+    let seed: u64 = args.get_or("seed", 1);
+
+    eprintln!(
+        "fig2a: {sets} sets per N, EDF horizon {horizon_us}µs, PD2 horizon {horizon_slots} slots"
+    );
+    let mut table = Table::new(&["N", "EDF (µs)", "±99%", "PD2 (µs)", "±99%"]);
+    for &n in &PAPER_TASK_COUNTS {
+        let edf = measure_edf(n, sets, horizon_us, seed);
+        let pd2 = measure_pd2(n, 1, sets, horizon_slots, seed);
+        table.row_owned(vec![
+            n.to_string(),
+            format!("{:.3}", edf.mean()),
+            format!("{:.3}", ci99_halfwidth(&edf)),
+            format!("{:.3}", pd2.mean()),
+            format!("{:.3}", ci99_halfwidth(&pd2)),
+        ]);
+        eprintln!("  N={n}: EDF {:.3}µs  PD2 {:.3}µs", edf.mean(), pd2.mean());
+    }
+    if args.flag("csv") {
+        print!("{}", table.to_csv());
+    } else {
+        print!("{}", table.render());
+    }
+}

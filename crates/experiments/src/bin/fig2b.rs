@@ -1,0 +1,42 @@
+//! Fig. 2(b): per-slot scheduling overhead of PD² on 2, 4, 8, and 16
+//! processors, as a function of task count.
+//!
+//! ```text
+//! cargo run --release -p experiments --bin fig2b -- [--sets 50] [--slots 20000] [--seed 1] [--csv]
+//! ```
+
+use experiments::fig2::{measure_pd2, PAPER_PROC_COUNTS, PAPER_TASK_COUNTS};
+use experiments::Args;
+use stats::{ci99_halfwidth, Table};
+
+fn main() {
+    let args = Args::parse();
+    let sets: usize = args.get_or("sets", 50);
+    let horizon_slots: u64 = args.get_or("slots", 20_000);
+    let seed: u64 = args.get_or("seed", 1);
+
+    eprintln!("fig2b: {sets} sets per point, {horizon_slots} slots each");
+    let mut headers = vec!["N".to_string()];
+    for &m in &PAPER_PROC_COUNTS {
+        headers.push(format!("{m} procs (µs)"));
+        headers.push("±99%".to_string());
+    }
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let mut table = Table::new(&header_refs);
+
+    for &n in &PAPER_TASK_COUNTS {
+        let mut row = vec![n.to_string()];
+        for &m in &PAPER_PROC_COUNTS {
+            let w = measure_pd2(n, m, sets, horizon_slots, seed);
+            row.push(format!("{:.3}", w.mean()));
+            row.push(format!("{:.3}", ci99_halfwidth(&w)));
+        }
+        eprintln!("  N={n}: {}", row[1..].join(" "));
+        table.row_owned(row);
+    }
+    if args.flag("csv") {
+        print!("{}", table.to_csv());
+    } else {
+        print!("{}", table.render());
+    }
+}

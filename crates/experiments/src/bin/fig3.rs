@@ -1,0 +1,49 @@
+//! Fig. 3: minimum processors required by PD² vs. EDF-FF as total
+//! utilization grows, with Equation (3) overhead inflation.
+//!
+//! ```text
+//! cargo run --release -p experiments --bin fig3 -- [--tasks 50] [--sets 200] [--points 15] [--seed 1] [--csv]
+//! ```
+//!
+//! The paper's Fig. 3 panels are `--tasks 50 | 100 | 250 | 500`.
+
+use experiments::fig34::{paper_utilization_sweep, run_point};
+use experiments::Args;
+use overhead::OverheadParams;
+use stats::{ci99_halfwidth, Table};
+use workload::CacheDelayDist;
+
+fn main() {
+    let args = Args::parse();
+    let n: usize = args.get_or("tasks", 50);
+    let sets: usize = args.get_or("sets", 200);
+    let points: usize = args.get_or("points", 15);
+    let seed: u64 = args.get_or("seed", 1);
+    let params = OverheadParams::paper2003();
+    let dist = CacheDelayDist::paper2003();
+
+    eprintln!("fig3: N={n}, {sets} sets per point, {points} utilization points");
+    let mut table = Table::new(&["U", "PD2 procs", "±99%", "EDF-FF procs", "±99%"]);
+    for u in paper_utilization_sweep(n, points) {
+        let p = run_point(n, u, sets, seed, &params, dist);
+        table.row_owned(vec![
+            format!("{u:.2}"),
+            format!("{:.2}", p.pd2_procs.mean()),
+            format!("{:.2}", ci99_halfwidth(&p.pd2_procs)),
+            format!("{:.2}", p.edf_procs.mean()),
+            format!("{:.2}", ci99_halfwidth(&p.edf_procs)),
+        ]);
+        eprintln!(
+            "  U={u:.2}: PD2 {:.2}  EDF-FF {:.2}  (failures: pd2={} edf={})",
+            p.pd2_procs.mean(),
+            p.edf_procs.mean(),
+            p.pd2_failures,
+            p.edf_failures
+        );
+    }
+    if args.flag("csv") {
+        print!("{}", table.to_csv());
+    } else {
+        print!("{}", table.render());
+    }
+}

@@ -1,0 +1,61 @@
+//! Fig. 4: fraction of schedulability lost to (i) PD² system overheads,
+//! (ii) EDF system overheads, and (iii) FF partitioning fragmentation, as
+//! mean task utilization grows.
+//!
+//! ```text
+//! cargo run --release -p experiments --bin fig4 -- [--tasks 50] [--sets 200] [--points 15] [--seed 1] [--csv]
+//! ```
+//!
+//! The paper's panels are `--tasks 50` and `--tasks 100`; the x-axis is
+//! mean task utilization `U/N ∈ [1/30, 1/3]`.
+
+use experiments::fig34::{paper_utilization_sweep, run_point};
+use experiments::Args;
+use overhead::OverheadParams;
+use stats::{ci99_halfwidth, Table};
+use workload::CacheDelayDist;
+
+fn main() {
+    let args = Args::parse();
+    let n: usize = args.get_or("tasks", 50);
+    let sets: usize = args.get_or("sets", 200);
+    let points: usize = args.get_or("points", 15);
+    let seed: u64 = args.get_or("seed", 1);
+    let params = OverheadParams::paper2003();
+    let dist = CacheDelayDist::paper2003();
+
+    eprintln!("fig4: N={n}, {sets} sets per point");
+    let mut table = Table::new(&[
+        "mean util",
+        "Pfair loss",
+        "±99%",
+        "EDF loss",
+        "±99%",
+        "FF loss",
+        "±99%",
+    ]);
+    for u in paper_utilization_sweep(n, points) {
+        let p = run_point(n, u, sets, seed, &params, dist);
+        table.row_owned(vec![
+            format!("{:.4}", u / n as f64),
+            format!("{:.4}", p.pfair_loss.mean()),
+            format!("{:.4}", ci99_halfwidth(&p.pfair_loss)),
+            format!("{:.4}", p.edf_loss.mean()),
+            format!("{:.4}", ci99_halfwidth(&p.edf_loss)),
+            format!("{:.4}", p.ff_loss.mean()),
+            format!("{:.4}", ci99_halfwidth(&p.ff_loss)),
+        ]);
+        eprintln!(
+            "  u̅={:.4}: pfair {:.4}  edf {:.4}  ff {:.4}",
+            u / n as f64,
+            p.pfair_loss.mean(),
+            p.edf_loss.mean(),
+            p.ff_loss.mean()
+        );
+    }
+    if args.flag("csv") {
+        print!("{}", table.to_csv());
+    } else {
+        print!("{}", table.render());
+    }
+}

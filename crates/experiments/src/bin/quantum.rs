@@ -1,0 +1,35 @@
+//! Quantum-size sweep (paper §4 "Challenges"): processors PD² needs as the
+//! quantum varies, exposing the rounding-vs-overhead trade-off.
+//!
+//! ```text
+//! cargo run --release -p experiments --bin quantum -- [--tasks 50] [--util 10] [--sets 100] [--seed 1] [--csv]
+//! ```
+
+use experiments::quantum::run_quantum_sweep;
+use experiments::Args;
+use overhead::OverheadParams;
+use stats::{ci99_halfwidth, Table};
+
+fn main() {
+    let args = Args::parse();
+    let n: usize = args.get_or("tasks", 50);
+    let util: f64 = args.get_or("util", n as f64 / 5.0);
+    let sets: usize = args.get_or("sets", 100);
+    let seed: u64 = args.get_or("seed", 1);
+
+    eprintln!("quantum sweep: N={n}, U={util}, {sets} sets");
+    let mut table = Table::new(&["q (µs)", "PD2 procs", "±99%", "failures"]);
+    for p in run_quantum_sweep(n, util, sets, seed, &OverheadParams::paper2003()) {
+        table.row_owned(vec![
+            p.quantum_us.to_string(),
+            format!("{:.2}", p.pd2_procs.mean()),
+            format!("{:.2}", ci99_halfwidth(&p.pd2_procs)),
+            p.failures.to_string(),
+        ]);
+    }
+    if args.flag("csv") {
+        print!("{}", table.to_csv());
+    } else {
+        print!("{}", table.render());
+    }
+}

@@ -1,0 +1,37 @@
+//! Trace verifier: load an archived JSON schedule trace (written by
+//! `show --trace` or [`sched_sim::ScheduleTrace`]) and re-verify it against
+//! the Pfair lag bound and per-subtask window containment.
+//!
+//! ```text
+//! cargo run --release -p experiments --bin verify_trace -- --input trace.json
+//! ```
+//!
+//! Exits non-zero on verification failure — usable as a regression gate on
+//! archived schedules.
+
+use experiments::Args;
+use sched_sim::ScheduleTrace;
+
+fn main() {
+    let args = Args::parse();
+    let path = args.get("input").expect("--input <trace.json> required");
+    let json = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
+    let trace = ScheduleTrace::from_json(&json)
+        .unwrap_or_else(|e| panic!("cannot parse {path}: {e}"));
+
+    println!(
+        "{path}: {} tasks, M = {}, {} slots, {} misses recorded",
+        trace.tasks.len(),
+        trace.processors,
+        trace.slots.len(),
+        trace.metrics.misses
+    );
+    match trace.verify() {
+        Ok(()) => println!("verified: lag bound and window containment hold ✓"),
+        Err(e) => {
+            eprintln!("VERIFICATION FAILED: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,126 @@
+//! Fig. 2 harness: per-invocation scheduling overhead of EDF and PD².
+//!
+//! The paper ran 1000 random task sets per task count, scheduled each until
+//! time 10⁶, and reported the average execution cost of one scheduler
+//! invocation. We do the same against this crate's own implementations
+//! (binary-heap ready queues, like the paper's): wall-clock time of the
+//! scheduling loop divided by the number of invocations.
+//!
+//! Absolute values reflect *this* machine, not the paper's 933 MHz
+//! Pentium; the claims under test are the shapes — overhead grows with N
+//! and with M, and PD² stays within the order of magnitude of a context
+//! switch (1–10 µs).
+
+use pfair_core::sched::{PfairScheduler, SchedConfig};
+use stats::Welford;
+use std::time::Instant;
+use uniproc::{Discipline, UniSim};
+use workload::TaskSetGenerator;
+
+/// Task counts measured in the paper's Fig. 2.
+pub const PAPER_TASK_COUNTS: [usize; 9] = [15, 30, 50, 75, 100, 250, 500, 750, 1000];
+
+/// Processor counts measured in the paper's Fig. 2(b).
+pub const PAPER_PROC_COUNTS: [u32; 4] = [2, 4, 8, 16];
+
+/// Measures the mean per-invocation cost (µs) of the EDF scheduler on one
+/// processor: `sets` random task sets of `n` tasks with total utilization
+/// just under 1, each simulated for `horizon_us`.
+pub fn measure_edf(n: usize, sets: usize, horizon_us: u64, seed: u64) -> Welford {
+    let mut acc = Welford::new();
+    for s in 0..sets {
+        let mut gen = TaskSetGenerator::new(n, 0.9_f64.min(n as f64), seed ^ (s as u64) << 17);
+        let set = gen.generate();
+        let pairs: Vec<(u64, u64)> = set.iter().map(|t| (t.wcet_us, t.period_us)).collect();
+        let mut sim = UniSim::new(&pairs, Discipline::Edf);
+        let start = Instant::now();
+        let stats = sim.run(horizon_us);
+        let elapsed = start.elapsed();
+        if stats.invocations > 0 {
+            acc.push(elapsed.as_secs_f64() * 1e6 / stats.invocations as f64);
+        }
+    }
+    acc
+}
+
+/// Builds a feasible quantum-domain task set of `n` tasks with total
+/// weight ≈ `0.9·min(n, m)`: per-task target utilizations are drawn
+/// uniformly, scaled to the budget, then realized as `(e, ⌈e/u⌉)` so the
+/// actual weight never exceeds the draw (no rounding blow-up even for
+/// hundreds of featherweight tasks — which is exactly the Fig. 2 regime).
+fn pd2_workload(n: usize, m: u32, seed: u64) -> pfair_model::TaskSet {
+    use rand::{Rng as _, SeedableRng as _};
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let budget = 0.9 * (n as f64).min(m as f64);
+    let mut draws: Vec<f64> = (0..n).map(|_| rng.gen_range(0.01..1.0f64)).collect();
+    let sum: f64 = draws.iter().sum();
+    for d in &mut draws {
+        *d *= budget / sum;
+    }
+    draws
+        .into_iter()
+        .map(|u| {
+            let u = u.min(0.95);
+            // A few quanta of execution per job keeps b-bit/tie-break code
+            // on the hot path.
+            let e = rng.gen_range(1u64..=4);
+            let p = ((e as f64 / u).ceil() as u64).max(e + 1);
+            pfair_model::Task::new(e, p).expect("e < p by construction")
+        })
+        .collect()
+}
+
+/// Measures the mean per-invocation (= per-slot) cost (µs) of the PD²
+/// scheduler on `m` processors: `sets` random task sets of `n` tasks with
+/// total weight ≈ 0.9·min(n, m), simulated for `horizon_slots` quanta.
+pub fn measure_pd2(n: usize, m: u32, sets: usize, horizon_slots: u64, seed: u64) -> Welford {
+    let mut acc = Welford::new();
+    for s in 0..sets {
+        let tasks = pd2_workload(n, m, seed ^ ((s as u64) << 17));
+        debug_assert!(tasks.feasible_on(m));
+        let mut sched = PfairScheduler::new(&tasks, SchedConfig::pd2(m));
+        let mut out = Vec::with_capacity(m as usize);
+        let start = Instant::now();
+        for t in 0..horizon_slots {
+            out.clear();
+            sched.tick(t, &mut out);
+        }
+        let elapsed = start.elapsed();
+        acc.push(elapsed.as_secs_f64() * 1e6 / horizon_slots as f64);
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edf_measurement_produces_samples() {
+        let w = measure_edf(20, 3, 100_000, 1);
+        assert_eq!(w.count(), 3);
+        assert!(w.mean() > 0.0);
+        assert!(w.mean() < 1_000.0, "per-invocation cost is sub-millisecond");
+    }
+
+    #[test]
+    fn pd2_measurement_produces_samples() {
+        let w = measure_pd2(20, 2, 3, 2_000, 1);
+        assert!(w.count() >= 1);
+        assert!(w.mean() > 0.0);
+        assert!(w.mean() < 10_000.0);
+    }
+
+    #[test]
+    fn pd2_cost_grows_with_tasks() {
+        // Even unoptimized builds show the N-scaling (heap depth).
+        let small = measure_pd2(10, 2, 3, 2_000, 7);
+        let large = measure_pd2(500, 2, 3, 2_000, 7);
+        assert!(
+            large.mean() > small.mean(),
+            "500 tasks ({:.3}µs) should cost more than 10 ({:.3}µs)",
+            large.mean(),
+            small.mean()
+        );
+    }
+}

@@ -1,0 +1,28 @@
+//! # experiments
+//!
+//! The harness that regenerates every figure of *The Case for Fair
+//! Multiprocessor Scheduling*. Each figure has a binary:
+//!
+//! | Binary  | Paper figure | What it reports |
+//! |---------|--------------|-----------------|
+//! | `fig2a` | Fig. 2(a)    | Per-invocation scheduling overhead of EDF and PD² on one processor vs. task count |
+//! | `fig2b` | Fig. 2(b)    | PD² overhead on 2/4/8/16 processors vs. task count |
+//! | `fig3`  | Fig. 3(a–d)  | Minimum processors needed by PD² vs. EDF-FF vs. total utilization, overhead-inflated |
+//! | `fig4`  | Fig. 4(a,b)  | Fraction of schedulability lost to Pfair overheads, EDF overheads, and FF partitioning |
+//! | `fig5`  | Fig. 5       | The supertasking deadline miss, plus the reweighted fix |
+//! | `quantum` | §4 "Challenges" | Quantum-size trade-off: rounding loss vs. overhead loss |
+//! | `dhall` | §1           | Dhall effect: global EDF vs. PD² on near-unit-utilization sets |
+//!
+//! All binaries accept `--sets`, `--seed`, `--csv`, and figure-specific
+//! flags (see `--help`); defaults are sized so the full suite runs in
+//! minutes on a laptop, with paper-scale counts available via flags.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod args;
+pub mod fig2;
+pub mod fig34;
+pub mod quantum;
+
+pub use args::Args;

@@ -1,0 +1,47 @@
+//! # pfair-model
+//!
+//! Task model, time representation, and exact rational arithmetic for the
+//! Pfair multiprocessor scheduling stack.
+//!
+//! This crate is the foundation of the reproduction of *The Case for Fair
+//! Multiprocessor Scheduling* (Srinivasan, Holman, Anderson, Baruah, 2003).
+//! Everything the Pfair theory manipulates — task weights `wt(T) = T.e/T.p`,
+//! lags, pseudo-release/deadline formulas — is defined over exact integer
+//! quantities. Floating point is deliberately absent from this crate: the
+//! Pfair lag invariant `-1 < lag(T, t) < 1` is an exact statement and the
+//! property tests in the rest of the workspace assert it exactly.
+//!
+//! ## Contents
+//!
+//! * [`rat`] — an exact signed rational type ([`Rat`]) with `i128`
+//!   intermediates, used for lags and utilization sums.
+//! * [`weight`] — the [`Weight`] of a task, a rational in `(0, 1]` stored in
+//!   lowest terms.
+//! * [`task`] — [`Task`] (integer execution cost and period in quanta),
+//!   [`TaskId`], and [`TaskSet`] with feasibility queries.
+//! * [`time`] — slot/quantum time aliases and the [`Window`] of a subtask.
+//! * [`phys`] — physical-time tasks ([`PhysTask`], microsecond domain) used
+//!   by the overhead-accounting experiments of the paper's Section 4, and
+//!   conversion into quantum-domain [`Task`]s.
+//!
+//! ## Conventions
+//!
+//! Time is discrete. Slot `t` is the real interval `[t, t+1)` quanta; "time
+//! `t`" means the beginning of slot `t` (paper, Section 2). All executions
+//! and periods of quantum-domain tasks are positive integers, and a task's
+//! weight never exceeds one (no intra-task parallelism).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod phys;
+pub mod rat;
+pub mod task;
+pub mod time;
+pub mod weight;
+
+pub use phys::{PhysTask, PhysTaskSet, QuantumError};
+pub use rat::Rat;
+pub use task::{Task, TaskId, TaskSet};
+pub use time::{Slot, SlotCount, Window};
+pub use weight::{Weight, WeightError, WeightSum};

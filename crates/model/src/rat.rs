@@ -1,0 +1,474 @@
+//! Exact signed rational arithmetic.
+//!
+//! Pfair lags and utilization sums must be computed exactly: the lag bound
+//! `-1 < lag < 1` in the paper's Equation (1) is a strict rational
+//! inequality, and a floating-point representation would make the property
+//! tests in `sched-sim` unsound. [`Rat`] keeps a normalized `i128/i128`
+//! representation; with task parameters bounded by `u64` and horizons below
+//! `2^40` slots, all intermediate products fit comfortably in `i128`.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+/// An exact rational number `num/den` with `den > 0`, stored in lowest terms.
+///
+/// # Examples
+///
+/// ```
+/// use pfair_model::Rat;
+///
+/// let a = Rat::new(8, 11); // a task weight of 8/11
+/// let b = Rat::new(3, 11);
+/// assert_eq!(a + b, Rat::ONE);
+/// assert!(a > Rat::new(1, 2)); // "heavy" in the paper's terminology
+/// assert_eq!((a * Rat::from(22u64)).to_integer(), Some(16));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Rat {
+    num: i128,
+    den: i128,
+}
+
+/// Greatest common divisor (binary-free Euclid; inputs non-negative).
+fn gcd(mut a: i128, mut b: i128) -> i128 {
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+impl Rat {
+    /// Zero.
+    pub const ZERO: Rat = Rat { num: 0, den: 1 };
+    /// One.
+    pub const ONE: Rat = Rat { num: 1, den: 1 };
+
+    /// Creates `num/den` in lowest terms.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `den == 0`.
+    pub fn new(num: i128, den: i128) -> Self {
+        assert!(den != 0, "Rat with zero denominator");
+        let sign = if (num < 0) != (den < 0) && num != 0 { -1 } else { 1 };
+        let (num, den) = (num.unsigned_abs(), den.unsigned_abs());
+        let g = gcd(num as i128, den as i128).max(1);
+        Rat {
+            num: sign * (num as i128 / g),
+            den: den as i128 / g,
+        }
+    }
+
+    /// Numerator (sign-carrying) of the normalized representation.
+    pub fn numer(self) -> i128 {
+        self.num
+    }
+
+    /// Denominator (always positive) of the normalized representation.
+    pub fn denom(self) -> i128 {
+        self.den
+    }
+
+    /// `⌊self⌋`.
+    pub fn floor(self) -> i128 {
+        self.num.div_euclid(self.den)
+    }
+
+    /// `⌈self⌉`.
+    pub fn ceil(self) -> i128 {
+        -((-self.num).div_euclid(self.den))
+    }
+
+    /// Returns `Some(n)` if this rational is the integer `n`.
+    pub fn to_integer(self) -> Option<i128> {
+        (self.den == 1).then_some(self.num)
+    }
+
+    /// Multiplicative inverse.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self` is zero.
+    pub fn recip(self) -> Self {
+        Rat::new(self.den, self.num)
+    }
+
+    /// Absolute value.
+    pub fn abs(self) -> Self {
+        Rat {
+            num: self.num.abs(),
+            den: self.den,
+        }
+    }
+
+    /// Truthy when strictly negative.
+    pub fn is_negative(self) -> bool {
+        self.num < 0
+    }
+
+    /// Truthy when exactly zero.
+    pub fn is_zero(self) -> bool {
+        self.num == 0
+    }
+
+    /// Lossy conversion for reporting/statistics only (never used by the
+    /// scheduling core).
+    pub fn to_f64(self) -> f64 {
+        self.num as f64 / self.den as f64
+    }
+
+    /// Overflow-checked addition: `None` if the exact result does not fit
+    /// the normalized `i128/i128` representation. Summing many rationals
+    /// with unrelated denominators (e.g. hundreds of random task weights)
+    /// legitimately exceeds `i128`; see `WeightSum` in the `weight` module
+    /// for the graceful fallback.
+    pub fn checked_add(self, rhs: Rat) -> Option<Rat> {
+        let g = gcd(self.den, rhs.den);
+        let lhs_scale = rhs.den / g;
+        let rhs_scale = self.den / g;
+        let num = self
+            .num
+            .checked_mul(lhs_scale)?
+            .checked_add(rhs.num.checked_mul(rhs_scale)?)?;
+        let den = self.den.checked_mul(lhs_scale)?;
+        Some(Rat::new(num, den))
+    }
+
+    /// Overflow-checked subtraction.
+    pub fn checked_sub(self, rhs: Rat) -> Option<Rat> {
+        self.checked_add(-rhs)
+    }
+
+    /// `min` of two rationals.
+    pub fn min(self, other: Self) -> Self {
+        if self <= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// `max` of two rationals.
+    pub fn max(self, other: Self) -> Self {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl fmt::Debug for Rat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.num, self.den)
+    }
+}
+
+impl fmt::Display for Rat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.den == 1 {
+            write!(f, "{}", self.num)
+        } else {
+            write!(f, "{}/{}", self.num, self.den)
+        }
+    }
+}
+
+impl From<i128> for Rat {
+    fn from(n: i128) -> Self {
+        Rat { num: n, den: 1 }
+    }
+}
+
+impl From<u64> for Rat {
+    fn from(n: u64) -> Self {
+        Rat {
+            num: n as i128,
+            den: 1,
+        }
+    }
+}
+
+impl From<i64> for Rat {
+    fn from(n: i64) -> Self {
+        Rat {
+            num: n as i128,
+            den: 1,
+        }
+    }
+}
+
+impl Add for Rat {
+    type Output = Rat;
+    fn add(self, rhs: Rat) -> Rat {
+        // Reduce by gcd of denominators first to keep intermediates small.
+        let g = gcd(self.den, rhs.den);
+        let lhs_scale = rhs.den / g;
+        let rhs_scale = self.den / g;
+        Rat::new(
+            self.num * lhs_scale + rhs.num * rhs_scale,
+            self.den * lhs_scale,
+        )
+    }
+}
+
+impl Sub for Rat {
+    type Output = Rat;
+    fn sub(self, rhs: Rat) -> Rat {
+        self + (-rhs)
+    }
+}
+
+impl Mul for Rat {
+    type Output = Rat;
+    fn mul(self, rhs: Rat) -> Rat {
+        // Cross-reduce before multiplying to avoid overflow.
+        let g1 = gcd(self.num.abs().max(1), rhs.den);
+        let g2 = gcd(rhs.num.abs().max(1), self.den);
+        Rat::new(
+            (self.num / g1) * (rhs.num / g2),
+            (self.den / g2) * (rhs.den / g1),
+        )
+    }
+}
+
+impl Div for Rat {
+    type Output = Rat;
+    #[allow(clippy::suspicious_arithmetic_impl)] // division via reciprocal is the definition
+    fn div(self, rhs: Rat) -> Rat {
+        self * rhs.recip()
+    }
+}
+
+impl Neg for Rat {
+    type Output = Rat;
+    fn neg(self) -> Rat {
+        Rat {
+            num: -self.num,
+            den: self.den,
+        }
+    }
+}
+
+impl AddAssign for Rat {
+    fn add_assign(&mut self, rhs: Rat) {
+        *self = *self + rhs;
+    }
+}
+
+impl SubAssign for Rat {
+    fn sub_assign(&mut self, rhs: Rat) {
+        *self = *self - rhs;
+    }
+}
+
+impl PartialOrd for Rat {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Rat {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Fast path: den > 0 on both sides, so cross-multiplication
+        // preserves order when the products fit.
+        if let (Some(l), Some(r)) = (
+            self.num.checked_mul(other.den),
+            other.num.checked_mul(self.den),
+        ) {
+            return l.cmp(&r);
+        }
+        // Overflow-proof exact comparison by continued-fraction descent
+        // (each step is one Euclid round; remainders strictly shrink).
+        cmp_frac(self.num, self.den, other.num, other.den)
+    }
+}
+
+/// Compares `a/b` vs `c/d` exactly without overflow; `b, d > 0`.
+fn cmp_frac(a: i128, b: i128, c: i128, d: i128) -> Ordering {
+    match (a.signum()).cmp(&c.signum()) {
+        Ordering::Equal => {}
+        other => return other,
+    }
+    match a.signum() {
+        0 => Ordering::Equal,
+        s if s < 0 => cmp_frac_pos(-c, d, -a, b),
+        _ => cmp_frac_pos(a, b, c, d),
+    }
+}
+
+/// Compares `a/b` vs `c/d` for strictly positive fractions.
+fn cmp_frac_pos(mut a: i128, mut b: i128, mut c: i128, mut d: i128) -> Ordering {
+    loop {
+        let (qa, qc) = (a / b, c / d);
+        if qa != qc {
+            return qa.cmp(&qc);
+        }
+        let (ra, rc) = (a % b, c % d);
+        match (ra == 0, rc == 0) {
+            (true, true) => return Ordering::Equal,
+            (true, false) => return Ordering::Less,
+            (false, true) => return Ordering::Greater,
+            (false, false) => {
+                // Equal integer parts: compare ra/b vs rc/d, i.e. the
+                // reciprocals flipped: d/rc vs b/ra.
+                let (na, nb, nc, nd) = (d, rc, b, ra);
+                a = na;
+                b = nb;
+                c = nc;
+                d = nd;
+            }
+        }
+    }
+}
+
+impl std::iter::Sum for Rat {
+    fn sum<I: Iterator<Item = Rat>>(iter: I) -> Rat {
+        iter.fold(Rat::ZERO, |a, b| a + b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn normalization() {
+        assert_eq!(Rat::new(2, 4), Rat::new(1, 2));
+        assert_eq!(Rat::new(-2, 4), Rat::new(1, -2));
+        assert_eq!(Rat::new(-2, -4), Rat::new(1, 2));
+        assert_eq!(Rat::new(0, 7), Rat::ZERO);
+        assert_eq!(Rat::new(0, -7).numer(), 0);
+        assert_eq!(Rat::new(0, -7).denom(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero denominator")]
+    fn zero_denominator_panics() {
+        let _ = Rat::new(1, 0);
+    }
+
+    #[test]
+    fn floor_and_ceil() {
+        assert_eq!(Rat::new(7, 2).floor(), 3);
+        assert_eq!(Rat::new(7, 2).ceil(), 4);
+        assert_eq!(Rat::new(-7, 2).floor(), -4);
+        assert_eq!(Rat::new(-7, 2).ceil(), -3);
+        assert_eq!(Rat::new(6, 2).floor(), 3);
+        assert_eq!(Rat::new(6, 2).ceil(), 3);
+        assert_eq!(Rat::ZERO.floor(), 0);
+        assert_eq!(Rat::ZERO.ceil(), 0);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Rat::new(1, 3);
+        let b = Rat::new(1, 6);
+        assert_eq!(a + b, Rat::new(1, 2));
+        assert_eq!(a - b, Rat::new(1, 6));
+        assert_eq!(a * b, Rat::new(1, 18));
+        assert_eq!(a / b, Rat::from(2u64));
+        assert_eq!(-a, Rat::new(-1, 3));
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(Rat::new(2, 3) > Rat::new(1, 2));
+        assert!(Rat::new(-1, 2) < Rat::ZERO);
+        assert!(Rat::new(5, 10) == Rat::new(1, 2));
+        assert_eq!(Rat::new(3, 7).min(Rat::new(2, 7)), Rat::new(2, 7));
+        assert_eq!(Rat::new(3, 7).max(Rat::new(2, 7)), Rat::new(3, 7));
+    }
+
+    #[test]
+    fn sum_iterator() {
+        let total: Rat = (1..=4u64).map(|i| Rat::new(1, i as i128)).sum();
+        assert_eq!(total, Rat::new(25, 12));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Rat::new(8, 11).to_string(), "8/11");
+        assert_eq!(Rat::from(3u64).to_string(), "3");
+        assert_eq!(format!("{:?}", Rat::new(8, 11)), "8/11");
+    }
+
+    #[test]
+    fn recip_and_to_integer() {
+        assert_eq!(Rat::new(3, 4).recip(), Rat::new(4, 3));
+        assert_eq!(Rat::new(8, 4).to_integer(), Some(2));
+        assert_eq!(Rat::new(8, 5).to_integer(), None);
+    }
+
+    fn arb_rat() -> impl Strategy<Value = Rat> {
+        (-1_000_000i128..1_000_000, 1i128..1_000_000).prop_map(|(n, d)| Rat::new(n, d))
+    }
+
+    proptest! {
+        #[test]
+        fn prop_add_commutative(a in arb_rat(), b in arb_rat()) {
+            prop_assert_eq!(a + b, b + a);
+        }
+
+        #[test]
+        fn prop_add_associative(a in arb_rat(), b in arb_rat(), c in arb_rat()) {
+            prop_assert_eq!((a + b) + c, a + (b + c));
+        }
+
+        #[test]
+        fn prop_mul_distributes(a in arb_rat(), b in arb_rat(), c in arb_rat()) {
+            prop_assert_eq!(a * (b + c), a * b + a * c);
+        }
+
+        #[test]
+        fn prop_sub_inverse(a in arb_rat(), b in arb_rat()) {
+            prop_assert_eq!(a + b - b, a);
+        }
+
+        #[test]
+        fn prop_floor_le_ceil(a in arb_rat()) {
+            prop_assert!(Rat::from(a.floor()) <= a);
+            prop_assert!(a <= Rat::from(a.ceil()));
+            prop_assert!(a.ceil() - a.floor() <= 1);
+        }
+
+        #[test]
+        fn prop_normalized(a in arb_rat()) {
+            let g = super::gcd(a.numer().abs(), a.denom());
+            prop_assert!(g == 1 || a.numer() == 0);
+            prop_assert!(a.denom() > 0);
+        }
+
+        #[test]
+        fn prop_cmp_overflow_path_matches_fast_path(
+            n1 in 1i128..1_000_000, d1 in 1i128..1_000_000,
+            n2 in 1i128..1_000_000, d2 in 1i128..1_000_000,
+        ) {
+            // The continued-fraction path must agree with cross
+            // multiplication whenever both are applicable.
+            let a = Rat::new(n1, d1);
+            let b = Rat::new(n2, d2);
+            prop_assert_eq!(
+                super::cmp_frac(a.numer(), a.denom(), b.numer(), b.denom()),
+                a.cmp(&b)
+            );
+            let na = -a;
+            prop_assert_eq!(
+                super::cmp_frac(na.numer(), na.denom(), b.numer(), b.denom()),
+                na.cmp(&b)
+            );
+        }
+
+        #[test]
+        fn prop_order_consistent_with_f64(a in arb_rat(), b in arb_rat()) {
+            // f64 has 53 bits of mantissa; inputs are < 2^40 so exact.
+            let (fa, fb) = (a.to_f64(), b.to_f64());
+            if fa < fb { prop_assert!(a < b); }
+            if fa > fb { prop_assert!(a > b); }
+        }
+    }
+}

@@ -1,0 +1,113 @@
+//! Discrete time: slots, quanta, and subtask windows.
+//!
+//! Under Pfair scheduling, processor time is allocated in fixed-size quanta;
+//! the interval `[t, t+1)` is *slot* `t` (paper, Section 2). This module
+//! fixes the conventions used across the workspace:
+//!
+//! * [`Slot`] indexes a slot (equivalently, the time at its start).
+//! * [`SlotCount`] measures durations in whole quanta.
+//! * [`Window`] is the half-open interval `[release, deadline)` within which
+//!   a subtask must be scheduled.
+
+/// Index of a scheduling slot; slot `t` covers real time `[t, t+1)` quanta.
+pub type Slot = u64;
+
+/// A duration measured in whole quanta/slots.
+pub type SlotCount = u64;
+
+/// The half-open interval `w(Tᵢ) = [r(Tᵢ), d(Tᵢ))` in which subtask `Tᵢ`
+/// must be scheduled (paper, Section 2).
+///
+/// # Examples
+///
+/// ```
+/// use pfair_model::Window;
+///
+/// let w = Window::new(0, 2); // first subtask of a weight-8/11 task
+/// assert_eq!(w.len(), 2);
+/// assert!(w.contains(0) && w.contains(1) && !w.contains(2));
+/// assert!(w.overlaps(&Window::new(1, 3)));
+/// assert!(!w.overlaps(&Window::new(2, 4)));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Window {
+    /// Pseudo-release: first slot in which the subtask may be scheduled.
+    pub release: Slot,
+    /// Pseudo-deadline: first slot in which it may *no longer* be scheduled.
+    pub deadline: Slot,
+}
+
+impl Window {
+    /// Creates `[release, deadline)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `deadline <= release` (windows always have length ≥ 1).
+    pub fn new(release: Slot, deadline: Slot) -> Self {
+        assert!(
+            deadline > release,
+            "window deadline {deadline} must exceed release {release}"
+        );
+        Window { release, deadline }
+    }
+
+    /// `|w(Tᵢ)| = d(Tᵢ) − r(Tᵢ)`.
+    pub fn len(&self) -> SlotCount {
+        self.deadline - self.release
+    }
+
+    /// Windows are never empty; provided for clippy-idiomatic completeness.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// True iff slot `t` lies inside the window.
+    pub fn contains(&self, t: Slot) -> bool {
+        self.release <= t && t < self.deadline
+    }
+
+    /// True iff the two half-open intervals intersect.
+    pub fn overlaps(&self, other: &Window) -> bool {
+        self.release < other.deadline && other.release < self.deadline
+    }
+
+    /// Last slot belonging to the window (`deadline − 1`).
+    pub fn last_slot(&self) -> Slot {
+        self.deadline - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_geometry() {
+        let w = Window::new(3, 6);
+        assert_eq!(w.len(), 3);
+        assert_eq!(w.last_slot(), 5);
+        assert!(!w.is_empty());
+        assert!(w.contains(3));
+        assert!(w.contains(5));
+        assert!(!w.contains(6));
+        assert!(!w.contains(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "must exceed")]
+    fn empty_window_panics() {
+        let _ = Window::new(4, 4);
+    }
+
+    #[test]
+    fn overlap_cases() {
+        let a = Window::new(0, 2);
+        assert!(a.overlaps(&Window::new(1, 2)));
+        assert!(a.overlaps(&Window::new(0, 1)));
+        assert!(!a.overlaps(&Window::new(2, 3)));
+        // Consecutive Pfair windows either overlap by one slot or are
+        // disjoint (paper, Section 2).
+        let b = Window::new(1, 3);
+        assert!(a.overlaps(&b));
+    }
+}

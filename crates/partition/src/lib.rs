@@ -1,0 +1,27 @@
+//! # partition
+//!
+//! The partitioning half of the paper (Section 3): bin-packing heuristics
+//! that assign tasks to processors, pluggable per-processor acceptance
+//! tests, and the analytic utilization bounds.
+//!
+//! * [`heuristics`] — First Fit, Best Fit, Worst Fit, and Next Fit, with
+//!   optional decreasing-utilization / decreasing-period pre-sorting (FFD,
+//!   BFD, and the paper's decreasing-period order for overhead-aware
+//!   EDF-FF).
+//! * [`accept`] — acceptance tests: plain EDF utilization (`ΣU ≤ 1`), RM
+//!   Liu–Layland, RM exact (Lehoczky TDA — the "variable-sized bins" the
+//!   paper warns about), and the overhead-aware EDF test implementing
+//!   Equation (3)'s EDF case with on-the-fly `max D(U)` tracking.
+//! * [`bounds`] — the `(M+1)/2` worst case and the Lopez et al. bound
+//!   `(βM + 1)/(β + 1)` \[27\].
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod accept;
+pub mod bounds;
+pub mod heuristics;
+
+pub use accept::{Acceptance, EdfOverheadAware, EdfUtilization, RmExact, RmLiuLayland};
+pub use bounds::{lopez_bound, lopez_schedulable, worst_case_achievable_utilization};
+pub use heuristics::{partition, partition_unbounded, Heuristic, PartitionResult, SortOrder};

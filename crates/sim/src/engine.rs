@@ -1,0 +1,402 @@
+//! Multiprocessor dispatch engine with affinity-aware processor assignment.
+//!
+//! [`pfair_core::PfairScheduler`] decides *which* ≤ M tasks execute in each
+//! slot; this engine decides *where*, and accounts for the overheads the
+//! paper analyzes in Section 4:
+//!
+//! * A task scheduled in consecutive quanta stays on its processor — "when
+//!   a task is scheduled in two consecutive quanta, it can be allowed to
+//!   continue executing on the same processor" — so it suffers no
+//!   preemption.
+//! * A **preemption** is charged when a task with an unfinished job stops
+//!   executing at a quantum boundary.
+//! * A **migration** is charged when a task resumes on a different
+//!   processor than it last used.
+//! * A **context switch** is charged whenever a processor starts a quantum
+//!   with a different task than it ran in the previous quantum.
+//!
+//! The engine also validates the paper's per-job preemption bound
+//! `min(E − 1, P − E)` in its tests.
+
+use pfair_core::sched::{DelayModel, PfairScheduler};
+use pfair_model::{Slot, TaskId, TaskSet};
+
+/// Aggregate metrics from a dispatched run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RunMetrics {
+    /// Slots simulated.
+    pub slots: u64,
+    /// Total quanta of processor time allocated.
+    pub allocated_quanta: u64,
+    /// Quanta in which a processor idled.
+    pub idle_quanta: u64,
+    /// Preemptions: task descheduled with its current job unfinished.
+    pub preemptions: u64,
+    /// Migrations: task resumed on a different processor.
+    pub migrations: u64,
+    /// Context switches: processor switched to a different task.
+    pub context_switches: u64,
+    /// Pfair deadline misses reported by the scheduler.
+    pub misses: u64,
+}
+
+/// Per-task dispatch bookkeeping.
+#[derive(Debug, Clone, Copy)]
+struct DispatchState {
+    /// Processor used in the previous slot, if scheduled there.
+    prev_proc: Option<u32>,
+    /// Processor used the last time the task ran (for migration counting).
+    last_proc: Option<u32>,
+    /// Quanta consumed within the current job (`allocations mod exec`).
+    in_job: u64,
+    /// Per-job execution cost (quanta).
+    exec: u64,
+    /// Period (quanta) — for synchronous job-release bookkeeping.
+    period: u64,
+    /// Jobs completed so far.
+    completed_jobs: u64,
+}
+
+/// Drives a [`PfairScheduler`] and dispatches its decisions onto `M`
+/// processors (see module docs).
+///
+/// # Examples
+///
+/// ```
+/// use pfair_core::sched::SchedConfig;
+/// use pfair_model::TaskSet;
+/// use sched_sim::MultiSim;
+///
+/// let tasks = TaskSet::from_pairs([(2u64, 3u64), (2, 3), (2, 3)]).unwrap();
+/// let mut sim = MultiSim::new(&tasks, SchedConfig::pd2(2));
+/// let metrics = sim.run(300);
+/// assert_eq!(metrics.misses, 0);
+/// assert_eq!(metrics.idle_quanta, 0); // full utilization
+/// ```
+pub struct MultiSim<D: DelayModel = pfair_core::NoDelay> {
+    sched: PfairScheduler<D>,
+    dispatch: Vec<DispatchState>,
+    /// Processor → task it ran in the previous slot.
+    proc_owner: Vec<Option<TaskId>>,
+    metrics: RunMetrics,
+    /// Optional full schedule recording (slot → tasks), for verification.
+    record: Option<Vec<Vec<TaskId>>>,
+    /// Job response times (completion − synchronous release), in slots.
+    /// Meaningful for synchronous periodic task sets without joins/leaves.
+    responses: stats::Welford,
+    /// Raw response samples, kept only when enabled (percentiles need the
+    /// full distribution).
+    response_samples: Option<stats::Samples>,
+    now: Slot,
+    /// Scratch buffers reused across slots.
+    chosen: Vec<TaskId>,
+    assignment: Vec<Option<TaskId>>,
+}
+
+impl MultiSim<pfair_core::NoDelay> {
+    /// Creates an engine over a synchronous periodic task set.
+    pub fn new(tasks: &TaskSet, cfg: pfair_core::SchedConfig) -> Self {
+        Self::with_scheduler(tasks, PfairScheduler::new(tasks, cfg))
+    }
+}
+
+impl<D: DelayModel> MultiSim<D> {
+    /// Wraps an existing scheduler (e.g. one with an IS delay model).
+    pub fn with_scheduler(tasks: &TaskSet, sched: PfairScheduler<D>) -> Self {
+        let m = sched.processors() as usize;
+        let dispatch = tasks
+            .iter()
+            .map(|(_, t)| DispatchState {
+                prev_proc: None,
+                last_proc: None,
+                in_job: 0,
+                exec: t.exec,
+                period: t.period,
+                completed_jobs: 0,
+            })
+            .collect();
+        MultiSim {
+            sched,
+            dispatch,
+            proc_owner: vec![None; m],
+            metrics: RunMetrics::default(),
+            record: None,
+            responses: stats::Welford::new(),
+            response_samples: None,
+            now: 0,
+            chosen: Vec::with_capacity(m),
+            assignment: vec![None; m],
+        }
+    }
+
+    /// Enables full schedule recording (needed by [`crate::verify`]).
+    pub fn record_schedule(&mut self) -> &mut Self {
+        if self.record.is_none() {
+            self.record = Some(Vec::new());
+        }
+        self
+    }
+
+    /// The recorded schedule, if recording was enabled.
+    pub fn schedule(&self) -> Option<&[Vec<TaskId>]> {
+        self.record.as_deref()
+    }
+
+    /// Job response-time statistics (slots between a job's synchronous
+    /// release and its completion). Valid for synchronous periodic sets.
+    pub fn response_times(&self) -> stats::Welford {
+        self.responses
+    }
+
+    /// Enables raw response-sample collection (for percentiles).
+    pub fn record_responses(&mut self) -> &mut Self {
+        if self.response_samples.is_none() {
+            self.response_samples = Some(stats::Samples::new());
+        }
+        self
+    }
+
+    /// The collected response samples, if recording was enabled.
+    pub fn response_samples(&mut self) -> Option<&mut stats::Samples> {
+        self.response_samples.as_mut()
+    }
+
+    /// Metrics so far.
+    pub fn metrics(&self) -> RunMetrics {
+        let mut m = self.metrics;
+        m.misses = self.sched.misses().len() as u64;
+        m
+    }
+
+    /// Immutable access to the underlying scheduler.
+    pub fn scheduler(&self) -> &PfairScheduler<D> {
+        &self.sched
+    }
+
+    /// Mutable access (for joins/leaves between slots).
+    pub fn scheduler_mut(&mut self) -> &mut PfairScheduler<D> {
+        &mut self.sched
+    }
+
+    /// Simulates one slot; returns the processor → task assignment.
+    pub fn step(&mut self) -> &[Option<TaskId>] {
+        let t = self.now;
+        self.now += 1;
+        let m = self.proc_owner.len();
+
+        self.chosen.clear();
+        self.sched.tick(t, &mut self.chosen);
+
+        // Dispatch with affinity: tasks that ran in slot t−1 and are chosen
+        // again keep their processor.
+        self.assignment.iter_mut().for_each(|a| *a = None);
+        let mut pending: Vec<TaskId> = Vec::with_capacity(self.chosen.len());
+        for &id in &self.chosen {
+            match self.dispatch[id.index()].prev_proc {
+                Some(p) if self.assignment[p as usize].is_none() => {
+                    self.assignment[p as usize] = Some(id);
+                }
+                _ => pending.push(id),
+            }
+        }
+        // Remaining tasks take free processors, preferring their last-used
+        // processor to avoid gratuitous migrations after gaps.
+        for &id in &pending {
+            let prefer = self.dispatch[id.index()].last_proc;
+            let slot = match prefer {
+                Some(p) if self.assignment[p as usize].is_none() => p as usize,
+                _ => self
+                    .assignment
+                    .iter()
+                    .position(Option::is_none)
+                    .expect("scheduler never over-commits"),
+            };
+            self.assignment[slot] = Some(id);
+        }
+
+        // Accounting.
+        let mut scheduled_mask = vec![false; self.dispatch.len()];
+        for (proc, slot) in self.assignment.iter().enumerate() {
+            match slot {
+                None => self.metrics.idle_quanta += 1,
+                Some(id) => {
+                    scheduled_mask[id.index()] = true;
+                    let st = &mut self.dispatch[id.index()];
+                    if let Some(last) = st.last_proc {
+                        if last != proc as u32 {
+                            self.metrics.migrations += 1;
+                        }
+                    }
+                    if self.proc_owner[proc] != Some(*id) {
+                        self.metrics.context_switches += 1;
+                    }
+                    st.last_proc = Some(proc as u32);
+                    st.in_job += 1;
+                    if st.in_job == st.exec {
+                        st.in_job = 0; // job boundary
+                        let release = st.completed_jobs * st.period;
+                        st.completed_jobs += 1;
+                        let resp = (t + 1).saturating_sub(release) as f64;
+                        self.responses.push(resp);
+                        if let Some(samples) = &mut self.response_samples {
+                            samples.push(resp);
+                        }
+                    }
+                    self.metrics.allocated_quanta += 1;
+                }
+            }
+        }
+        // Preemptions: ran in t−1, not running now, job unfinished.
+        for (i, st) in self.dispatch.iter_mut().enumerate() {
+            let ran_prev = st.prev_proc.is_some();
+            let runs_now = scheduled_mask[i];
+            if ran_prev && !runs_now && st.in_job != 0 {
+                self.metrics.preemptions += 1;
+            }
+            st.prev_proc = None;
+        }
+        for (proc, slot) in self.assignment.iter().enumerate() {
+            if let Some(id) = slot {
+                self.dispatch[id.index()].prev_proc = Some(proc as u32);
+            }
+            self.proc_owner[proc] = *slot;
+        }
+
+        self.metrics.slots += 1;
+        debug_assert!(self.assignment.iter().flatten().count() == self.chosen.len());
+        debug_assert!(self.chosen.len() <= m);
+
+        if let Some(rec) = &mut self.record {
+            rec.push(self.chosen.clone());
+        }
+        &self.assignment
+    }
+
+    /// Runs `horizon` slots and returns the metrics.
+    pub fn run(&mut self, horizon: Slot) -> RunMetrics {
+        while self.now < horizon {
+            self.step();
+        }
+        self.metrics()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pfair_core::lag::check_pfair;
+    use pfair_core::sched::SchedConfig;
+    use pfair_core::Policy;
+
+    fn ts(pairs: &[(u64, u64)]) -> TaskSet {
+        TaskSet::from_pairs(pairs.iter().copied()).unwrap()
+    }
+
+    #[test]
+    fn full_utilization_run_is_valid_pfair() {
+        let set = ts(&[(2, 3), (2, 3), (2, 3)]);
+        let mut sim = MultiSim::new(&set, SchedConfig::pd2(2));
+        sim.record_schedule();
+        let m = sim.run(60);
+        assert_eq!(m.misses, 0);
+        assert_eq!(m.idle_quanta, 0);
+        assert_eq!(m.allocated_quanta, 120);
+        let schedule = sim.schedule().unwrap();
+        assert_eq!(check_pfair(&set, schedule, 2), Ok(()));
+    }
+
+    #[test]
+    fn consecutive_quanta_keep_processor() {
+        // A single weight-1 task must stay on one processor forever: zero
+        // migrations, one initial context switch.
+        let set = ts(&[(1, 1)]);
+        let mut sim = MultiSim::new(&set, SchedConfig::pd2(2));
+        let m = sim.run(100);
+        assert_eq!(m.migrations, 0);
+        assert_eq!(m.context_switches, 1);
+        assert_eq!(m.preemptions, 0);
+    }
+
+    /// The paper's per-job preemption bound: a job spanning E quanta of a
+    /// task with period P suffers at most min(E−1, P−E) preemptions.
+    #[test]
+    fn per_job_preemption_bound() {
+        // Task (5, 6): only one idle slot per period ⇒ ≤ 1 preemption/job.
+        let set = ts(&[(5, 6), (2, 3), (1, 3), (1, 6), (1, 6), (1, 2), (1, 2)]);
+        // Σ = 5/6+2/3+1/3+1/6+1/6+1/2+1/2 = 19/6 ≈ 3.17 → M = 4.
+        let m_procs = set.min_processors();
+        let mut sim = MultiSim::new(&set, SchedConfig::pd2(m_procs));
+        let horizon = 20 * set.hyperperiod();
+        let metrics = sim.run(horizon);
+        assert_eq!(metrics.misses, 0);
+        // Aggregate check across all tasks: preemptions ≤ Σ_jobs min(E−1, P−E).
+        let mut bound = 0u64;
+        for (_, t) in set.iter() {
+            let jobs = horizon / t.period;
+            bound += jobs * (t.exec - 1).min(t.period - t.exec);
+        }
+        assert!(
+            metrics.preemptions <= bound,
+            "preemptions {} > bound {bound}",
+            metrics.preemptions
+        );
+    }
+
+    #[test]
+    fn migrations_only_happen_between_processors() {
+        // On one processor nothing can migrate.
+        let set = ts(&[(1, 2), (1, 4), (1, 8)]);
+        let mut sim = MultiSim::new(&set, SchedConfig::pd2(1));
+        let m = sim.run(200);
+        assert_eq!(m.migrations, 0);
+        assert_eq!(m.misses, 0);
+    }
+
+    #[test]
+    fn metrics_accounting_is_consistent() {
+        let set = ts(&[(8, 11), (1, 3), (2, 5), (5, 7)]);
+        let m_procs = set.min_processors();
+        let mut sim = MultiSim::new(&set, SchedConfig::pd2(m_procs));
+        let horizon = 2 * set.hyperperiod();
+        let m = sim.run(horizon);
+        assert_eq!(m.slots, horizon);
+        assert_eq!(
+            m.allocated_quanta + m.idle_quanta,
+            horizon * m_procs as u64
+        );
+        // Context switches ≥ migrations (every migration lands on a
+        // processor that was running something else or idle).
+        assert!(m.context_switches >= m.migrations);
+        assert_eq!(m.misses, 0);
+    }
+
+    #[test]
+    fn epdf_vs_pd2_metrics_differ_only_in_dispatch() {
+        let set = ts(&[(1, 2), (1, 3), (1, 5), (2, 7)]);
+        for pol in Policy::ALL {
+            let mut sim = MultiSim::new(&set, SchedConfig::pd2(2).with_policy(pol));
+            let m = sim.run(2 * set.hyperperiod());
+            assert_eq!(m.misses, 0, "{}", pol.name());
+            // Work conservation of allocation volume: every policy grants
+            // each task its exact proportional share over the hyperperiod.
+            assert_eq!(
+                m.allocated_quanta,
+                2 * set
+                    .iter()
+                    .map(|(_, t)| set.hyperperiod() / t.period * t.exec)
+                    .sum::<u64>()
+            );
+        }
+    }
+
+    #[test]
+    fn recorded_schedule_matches_metrics() {
+        let set = ts(&[(2, 3), (1, 2)]);
+        let mut sim = MultiSim::new(&set, SchedConfig::pd2(2));
+        sim.record_schedule();
+        let m = sim.run(12);
+        let sched = sim.schedule().unwrap();
+        let total: usize = sched.iter().map(Vec::len).sum();
+        assert_eq!(total as u64, m.allocated_quanta);
+    }
+}

@@ -1,0 +1,255 @@
+//! Job-level global EDF on `M` processors — the Dhall-effect baseline.
+//!
+//! The paper's Section 1 motivates Pfair scheduling with Dhall & Liu's
+//! observation \[13\] that global scheduling with EDF (or RM) priorities
+//! "can result in arbitrarily-low processor utilization": one heavy task
+//! plus `M` featherweight tasks with marginally earlier deadlines starves
+//! the heavy task at total utilizations barely above 1, on any number of
+//! processors. This simulator reproduces that effect; PD² schedules the
+//! same sets without misses.
+//!
+//! The simulation is quantum-driven (slot granularity) with job-level EDF:
+//! in each slot the `M` pending jobs with earliest absolute deadlines run.
+//! Jobs of the same task never run in parallel with each other (a task is
+//! sequential), which is automatic here because a task has at most one
+//! pending job per period and tardy jobs delay their successors.
+
+use pfair_model::{Slot, TaskSet};
+
+/// Statistics from a global-EDF run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GlobalEdfStats {
+    /// Completed jobs.
+    pub completed_jobs: u64,
+    /// Jobs that missed their deadline (detected at the deadline).
+    pub deadline_misses: u64,
+    /// Total allocated quanta.
+    pub allocated_quanta: u64,
+    /// Idle processor-quanta.
+    pub idle_quanta: u64,
+}
+
+/// Per-task job state.
+#[derive(Debug, Clone, Copy)]
+struct JobState {
+    /// Remaining quanta of the current job (0 = between jobs).
+    remaining: u64,
+    /// Absolute deadline of the current job.
+    deadline: Slot,
+    /// 0-based index of the current job.
+    job: u64,
+    /// Whether the current job's miss was recorded.
+    missed: bool,
+}
+
+/// Quantum-driven global EDF simulator over a synchronous periodic task
+/// set (quantum-domain [`TaskSet`]).
+///
+/// # Examples
+///
+/// ```
+/// use pfair_model::TaskSet;
+/// use sched_sim::GlobalEdfSim;
+///
+/// // Dhall effect on M = 2: two light (1,4) tasks + one weight-1 task.
+/// // U = 2/4 + 1 = 1.5 ≤ 2, yet global EDF misses.
+/// let tasks = TaskSet::from_pairs([(1u64, 4u64), (1, 4), (5, 5)]).unwrap();
+/// let mut sim = GlobalEdfSim::new(&tasks, 2);
+/// let stats = sim.run(100);
+/// assert!(stats.deadline_misses > 0);
+/// ```
+#[derive(Debug)]
+pub struct GlobalEdfSim {
+    tasks: Vec<(u64, u64)>,
+    /// Actual per-job demand; differs from the declared `exec` for
+    /// *misbehaving* tasks (§5.3 temporal-isolation experiments).
+    actual_exec: Vec<u64>,
+    m: usize,
+    jobs: Vec<JobState>,
+    stats: GlobalEdfStats,
+    /// Deadline misses per task (isolation experiments need to know *who*
+    /// missed).
+    misses_by_task: Vec<u64>,
+    now: Slot,
+}
+
+impl GlobalEdfSim {
+    /// Creates a simulator for `tasks` on `m` processors.
+    pub fn new(tasks: &TaskSet, m: u32) -> Self {
+        let jobs = tasks
+            .iter()
+            .map(|(_, t)| JobState {
+                remaining: t.exec,
+                deadline: t.period,
+                job: 0,
+                missed: false,
+            })
+            .collect();
+        GlobalEdfSim {
+            tasks: tasks.iter().map(|(_, t)| (t.exec, t.period)).collect(),
+            actual_exec: tasks.iter().map(|(_, t)| t.exec).collect(),
+            m: m as usize,
+            jobs,
+            stats: GlobalEdfStats::default(),
+            misses_by_task: vec![0; tasks.len()],
+            now: 0,
+        }
+    }
+
+    /// Makes task `i` *misbehave*: each of its jobs demands `actual` quanta
+    /// of execution although it declared (and is prioritized as if it
+    /// needed) its original cost. Must be called before `run`.
+    ///
+    /// Under global EDF the excess demand is served at the job's deadline
+    /// priority and steals capacity from well-behaved tasks — the paper's
+    /// §5.3 motivation for fairness-based temporal isolation.
+    pub fn set_actual_exec(&mut self, i: usize, actual: u64) {
+        assert!(actual >= 1);
+        self.actual_exec[i] = actual;
+        if self.jobs[i].job == 0 && self.now == 0 {
+            self.jobs[i].remaining = actual;
+        }
+    }
+
+    /// Deadline misses per task.
+    pub fn misses_by_task(&self) -> &[u64] {
+        &self.misses_by_task
+    }
+
+    /// Runs slots `now..horizon`; returns accumulated statistics.
+    pub fn run(&mut self, horizon: Slot) -> GlobalEdfStats {
+        // Scratch: indices of pending jobs sorted by (deadline, task).
+        let mut pending: Vec<usize> = Vec::with_capacity(self.tasks.len());
+        while self.now < horizon {
+            let t = self.now;
+            // Job roll-over at period boundaries.
+            for (i, js) in self.jobs.iter_mut().enumerate() {
+                let (_, p) = self.tasks[i];
+                let demand = self.actual_exec[i];
+                while t >= (js.job + 1) * p {
+                    if js.remaining > 0 && !js.missed {
+                        self.stats.deadline_misses += 1;
+                        self.misses_by_task[i] += 1;
+                    } else if js.remaining == 0 {
+                        // Completion was recorded when it finished.
+                    }
+                    // A tardy job is abandoned at its deadline (bounded-loss
+                    // model; keeps successive jobs well-defined).
+                    js.job += 1;
+                    js.remaining = demand;
+                    js.deadline = (js.job + 1) * p;
+                    js.missed = false;
+                }
+            }
+
+            pending.clear();
+            pending.extend(
+                self.jobs
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, js)| js.remaining > 0)
+                    .map(|(i, _)| i),
+            );
+            pending.sort_unstable_by_key(|&i| (self.jobs[i].deadline, i));
+            let chosen = pending.len().min(self.m);
+            for &i in &pending[..chosen] {
+                let js = &mut self.jobs[i];
+                js.remaining -= 1;
+                self.stats.allocated_quanta += 1;
+                if js.remaining == 0 {
+                    self.stats.completed_jobs += 1;
+                    if t + 1 > js.deadline && !js.missed {
+                        js.missed = true;
+                        self.stats.deadline_misses += 1;
+                        self.misses_by_task[i] += 1;
+                    }
+                }
+            }
+            self.stats.idle_quanta += (self.m - chosen) as u64;
+            self.now = t + 1;
+        }
+        self.stats
+    }
+}
+
+/// Builds the canonical discrete Dhall-effect task set for `m` processors:
+/// `m` light tasks `(1, p−1)` — whose deadlines fall strictly before the
+/// heavy task's — plus one weight-1 task `(p, p)`. Total utilization
+/// `1 + m/(p−1)`, arbitrarily close to 1 for large `p`, yet global EDF
+/// misses on `m` processors while PD² does not.
+pub fn dhall_task_set(m: u32, p: u64) -> TaskSet {
+    assert!(p >= 3);
+    let mut pairs = vec![(1u64, p - 1); m as usize];
+    pairs.push((p, p));
+    TaskSet::from_pairs(pairs).expect("valid dhall set")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::MultiSim;
+    use pfair_core::sched::SchedConfig;
+
+    #[test]
+    fn dhall_effect_misses_under_global_edf() {
+        for m in [2u32, 4, 8] {
+            let set = dhall_task_set(m, 10);
+            // U = 1 + m/10 ≤ m for m ≥ 2.
+            assert!(set.feasible_on(m));
+            let mut sim = GlobalEdfSim::new(&set, m);
+            let stats = sim.run(200);
+            assert!(
+                stats.deadline_misses > 0,
+                "global EDF must exhibit the Dhall effect on M={m}"
+            );
+        }
+    }
+
+    #[test]
+    fn same_sets_are_schedulable_by_pd2() {
+        for m in [2u32, 4, 8] {
+            let set = dhall_task_set(m, 10);
+            let mut sim = MultiSim::new(&set, SchedConfig::pd2(m));
+            let metrics = sim.run(200);
+            assert_eq!(metrics.misses, 0, "PD2 schedules the Dhall set on M={m}");
+        }
+    }
+
+    #[test]
+    fn underloaded_global_edf_is_fine() {
+        // Light load, no heavy task: global EDF does well.
+        let set = TaskSet::from_pairs([(1u64, 5u64), (1, 7), (2, 11), (1, 4)]).unwrap();
+        let mut sim = GlobalEdfSim::new(&set, 2);
+        let stats = sim.run(5_000);
+        assert_eq!(stats.deadline_misses, 0);
+        assert!(stats.completed_jobs > 0);
+    }
+
+    #[test]
+    fn single_processor_global_edf_matches_feasibility() {
+        // On one processor, (quantum-level) EDF schedules any U ≤ 1 set.
+        let set = TaskSet::from_pairs([(1u64, 2u64), (1, 3), (1, 6)]).unwrap();
+        let mut sim = GlobalEdfSim::new(&set, 1);
+        let stats = sim.run(600);
+        assert_eq!(stats.deadline_misses, 0);
+        assert_eq!(stats.idle_quanta, 0);
+    }
+
+    #[test]
+    fn accounting_adds_up() {
+        let set = dhall_task_set(2, 10);
+        let mut sim = GlobalEdfSim::new(&set, 2);
+        let stats = sim.run(100);
+        assert_eq!(stats.allocated_quanta + stats.idle_quanta, 200);
+    }
+
+    #[test]
+    fn misses_scale_with_horizon() {
+        let set = dhall_task_set(2, 10);
+        let mut short = GlobalEdfSim::new(&set, 2);
+        let s1 = short.run(100);
+        let mut long = GlobalEdfSim::new(&set, 2);
+        let s2 = long.run(1_000);
+        assert!(s2.deadline_misses > s1.deadline_misses);
+    }
+}

@@ -1,0 +1,131 @@
+//! ASCII schedule rendering — the visualization style of the paper's
+//! Figs. 1 and 5, for examples, experiments, and debugging.
+
+use pfair_model::{TaskId, TaskSet};
+use std::fmt::Write as _;
+
+/// Renders `schedule` (slot → tasks) as one `#`/`.` row per task, with a
+/// slot ruler every five columns. `labels[i]` names task `i`; pass `None`
+/// to use `T0, T1, …`.
+pub fn render_schedule(
+    schedule: &[Vec<TaskId>],
+    n_tasks: usize,
+    labels: Option<&[String]>,
+) -> String {
+    let horizon = schedule.len();
+    let width = labels
+        .map(|ls| ls.iter().map(String::len).max().unwrap_or(2))
+        .unwrap_or(3 + n_tasks.to_string().len())
+        .max(2);
+    let mut out = String::new();
+    for i in 0..n_tasks {
+        let default_label;
+        let label = match labels {
+            Some(ls) => ls[i].as_str(),
+            None => {
+                default_label = format!("T{i}");
+                &default_label
+            }
+        };
+        let _ = write!(out, "{label:>width$} ");
+        for slot in schedule {
+            out.push(if slot.iter().any(|t| t.index() == i) {
+                '#'
+            } else {
+                '.'
+            });
+        }
+        out.push('\n');
+    }
+    // Ruler.
+    let _ = write!(out, "{:>width$} ", "");
+    for t in 0..horizon {
+        out.push(if t % 10 == 0 {
+            '|'
+        } else if t % 5 == 0 {
+            '+'
+        } else {
+            ' '
+        });
+    }
+    out.push('\n');
+    let _ = write!(out, "{:>width$} ", "");
+    let mut t = 0;
+    while t < horizon {
+        let mark = t.to_string();
+        let _ = write!(out, "{mark:<10}");
+        t += 10;
+    }
+    out.push('\n');
+    out
+}
+
+/// Renders a schedule with window markers for one task: `[` at each
+/// pseudo-release, `)` at each pseudo-deadline (Fig. 1 style).
+pub fn render_task_windows(tasks: &TaskSet, id: TaskId, horizon: u64) -> String {
+    use pfair_core::subtask;
+    let w = tasks.task(id).weight();
+    let mut out = String::new();
+    let mut i = 1u64;
+    loop {
+        let win = subtask::window(w, i);
+        if win.release >= horizon {
+            break;
+        }
+        let mut line = String::new();
+        for t in 0..horizon {
+            line.push(if t == win.release {
+                '['
+            } else if t + 1 == win.deadline {
+                ')'
+            } else if win.contains(t) {
+                '-'
+            } else {
+                ' '
+            });
+        }
+        let _ = writeln!(out, "T{i:<3} {line}");
+        i += 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pfair_model::TaskSet;
+
+    #[test]
+    fn renders_rows_and_ruler() {
+        let schedule = vec![
+            vec![TaskId(0), TaskId(1)],
+            vec![TaskId(0)],
+            vec![],
+            vec![TaskId(1)],
+        ];
+        let s = render_schedule(&schedule, 2, None);
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4); // 2 tasks + 2 ruler lines
+        assert!(lines[0].contains("##.."));
+        assert!(lines[1].contains("#..#"));
+    }
+
+    #[test]
+    fn custom_labels() {
+        let schedule = vec![vec![TaskId(0)]];
+        let s = render_schedule(&schedule, 1, Some(&["V(1/2)".to_string()]));
+        assert!(s.starts_with("V(1/2) #"));
+    }
+
+    #[test]
+    fn window_rendering_matches_fig1a() {
+        let tasks = TaskSet::from_pairs([(8u64, 11u64)]).unwrap();
+        let s = render_task_windows(&tasks, TaskId(0), 11);
+        let first = s.lines().next().unwrap();
+        // T1's window [0, 2): '[' at column 0 (after the "T1   " prefix),
+        // ')' at column 1.
+        assert!(first.starts_with("T1   [)"));
+        // Eight subtask windows open before slot 11.
+        assert_eq!(s.lines().count(), 8);
+    }
+}

@@ -1,0 +1,172 @@
+//! Schedule trace export/import (JSON).
+//!
+//! A [`ScheduleTrace`] is a self-contained record of one simulation: the
+//! task set, processor count, the per-slot allocation matrix, and the run
+//! metrics. Traces round-trip through JSON so experiments can be archived,
+//! diffed across revisions, and re-verified offline (`check_pfair` /
+//! `check_windows` accept the deserialized schedule unchanged).
+
+use crate::engine::{MultiSim, RunMetrics};
+use pfair_model::{Task, TaskId, TaskSet};
+use serde::{Deserialize, Serialize};
+
+/// A serializable record of one simulated schedule.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ScheduleTrace {
+    /// Processor count.
+    pub processors: u32,
+    /// The task set, as `(exec, period)` pairs in task-id order.
+    pub tasks: Vec<(u64, u64)>,
+    /// Slot → task ids scheduled in that slot.
+    pub slots: Vec<Vec<u32>>,
+    /// Run metrics snapshot.
+    pub metrics: TraceMetrics,
+}
+
+/// The subset of [`RunMetrics`] worth archiving.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct TraceMetrics {
+    /// Slots simulated.
+    pub slots: u64,
+    /// Quanta allocated.
+    pub allocated_quanta: u64,
+    /// Idle processor-quanta.
+    pub idle_quanta: u64,
+    /// Preemptions.
+    pub preemptions: u64,
+    /// Migrations.
+    pub migrations: u64,
+    /// Context switches.
+    pub context_switches: u64,
+    /// Deadline misses.
+    pub misses: u64,
+}
+
+impl From<RunMetrics> for TraceMetrics {
+    fn from(m: RunMetrics) -> Self {
+        TraceMetrics {
+            slots: m.slots,
+            allocated_quanta: m.allocated_quanta,
+            idle_quanta: m.idle_quanta,
+            preemptions: m.preemptions,
+            migrations: m.migrations,
+            context_switches: m.context_switches,
+            misses: m.misses,
+        }
+    }
+}
+
+impl ScheduleTrace {
+    /// Captures a trace from a recording [`MultiSim`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the simulator was not recording
+    /// ([`MultiSim::record_schedule`]).
+    pub fn capture<D: pfair_core::DelayModel>(tasks: &TaskSet, sim: &MultiSim<D>) -> Self {
+        let schedule = sim
+            .schedule()
+            .expect("trace capture requires record_schedule()");
+        ScheduleTrace {
+            processors: sim.scheduler().processors(),
+            tasks: tasks.iter().map(|(_, t)| (t.exec, t.period)).collect(),
+            slots: schedule
+                .iter()
+                .map(|s| s.iter().map(|id| id.0).collect())
+                .collect(),
+            metrics: sim.metrics().into(),
+        }
+    }
+
+    /// Serializes to pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("trace serialization cannot fail")
+    }
+
+    /// Deserializes from JSON.
+    pub fn from_json(s: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(s)
+    }
+
+    /// The task set as a [`TaskSet`].
+    pub fn task_set(&self) -> TaskSet {
+        self.tasks
+            .iter()
+            .map(|&(e, p)| Task::new(e, p).expect("trace holds valid tasks"))
+            .collect()
+    }
+
+    /// The schedule in the form the verifiers accept.
+    pub fn schedule(&self) -> Vec<Vec<TaskId>> {
+        self.slots
+            .iter()
+            .map(|s| s.iter().map(|&i| TaskId(i)).collect())
+            .collect()
+    }
+
+    /// Re-verifies the archived schedule against the Pfair lag bound and
+    /// window containment.
+    pub fn verify(&self) -> Result<(), String> {
+        let tasks = self.task_set();
+        let schedule = self.schedule();
+        pfair_core::lag::check_pfair(&tasks, &schedule, self.processors)
+            .map_err(|v| v.to_string())?;
+        crate::verify::check_windows(&tasks, &schedule).map_err(|v| v.to_string())?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pfair_core::sched::SchedConfig;
+
+    fn traced_run() -> (TaskSet, ScheduleTrace) {
+        let tasks = TaskSet::from_pairs([(2u64, 3u64), (2, 3), (2, 3)]).unwrap();
+        let mut sim = MultiSim::new(&tasks, SchedConfig::pd2(2));
+        sim.record_schedule();
+        sim.run(30);
+        let trace = ScheduleTrace::capture(&tasks, &sim);
+        (tasks, trace)
+    }
+
+    #[test]
+    fn json_roundtrip_is_lossless() {
+        let (_, trace) = traced_run();
+        let json = trace.to_json();
+        let back = ScheduleTrace::from_json(&json).unwrap();
+        assert_eq!(trace, back);
+    }
+
+    #[test]
+    fn captured_trace_verifies() {
+        let (_, trace) = traced_run();
+        assert_eq!(trace.verify(), Ok(()));
+        assert_eq!(trace.metrics.misses, 0);
+        assert_eq!(trace.metrics.allocated_quanta, 60);
+    }
+
+    #[test]
+    fn tampered_trace_fails_verification() {
+        let (_, mut trace) = traced_run();
+        // Starve task 0 of a quantum.
+        for slot in &mut trace.slots {
+            if let Some(pos) = slot.iter().position(|&i| i == 0) {
+                slot.remove(pos);
+                break;
+            }
+        }
+        assert!(trace.verify().is_err());
+    }
+
+    #[test]
+    fn task_set_reconstruction() {
+        let (tasks, trace) = traced_run();
+        assert_eq!(trace.task_set(), tasks);
+    }
+
+    #[test]
+    fn rejects_malformed_json() {
+        assert!(ScheduleTrace::from_json("{not json").is_err());
+    }
+}

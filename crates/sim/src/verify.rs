@@ -1,0 +1,167 @@
+//! Schedule verification: window containment.
+//!
+//! [`pfair_core::lag::check_pfair`] validates the lag bound; this module
+//! adds the equivalent (for synchronous periodic tasks) but more
+//! diagnostic *window* view: the `k`-th quantum allocated to task `T` must
+//! land inside `w(T_k) = [r(T_k), d(T_k))`. A schedule satisfies the lag
+//! bound iff it satisfies window containment (paper, Section 2), and the
+//! property tests assert exactly that equivalence.
+
+use pfair_core::subtask;
+use pfair_model::{Slot, TaskId, TaskSet};
+use std::fmt;
+
+/// A subtask scheduled outside its window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WindowViolation {
+    /// The offending task.
+    pub task: TaskId,
+    /// 1-based subtask index.
+    pub index: u64,
+    /// Slot in which the subtask was scheduled.
+    pub slot: Slot,
+    /// The window it should have been inside.
+    pub release: Slot,
+    /// Window deadline.
+    pub deadline: Slot,
+}
+
+impl fmt::Display for WindowViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "subtask {} of {} scheduled in slot {} outside window [{}, {})",
+            self.index, self.task, self.slot, self.release, self.deadline
+        )
+    }
+}
+
+/// Checks window containment of a synchronous periodic schedule: the `k`-th
+/// allocation of each task must fall within `[r(T_k), d(T_k))`. Returns the
+/// first violation.
+pub fn check_windows(tasks: &TaskSet, schedule: &[Vec<TaskId>]) -> Result<(), WindowViolation> {
+    let mut counts = vec![0u64; tasks.len()];
+    for (t, slot_tasks) in schedule.iter().enumerate() {
+        let t = t as Slot;
+        for &id in slot_tasks {
+            counts[id.index()] += 1;
+            let k = counts[id.index()];
+            let w = tasks.task(id).weight();
+            let r = subtask::release(w, k);
+            let d = subtask::deadline(w, k);
+            if t < r || t >= d {
+                return Err(WindowViolation {
+                    task: id,
+                    index: k,
+                    slot: t,
+                    release: r,
+                    deadline: d,
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::MultiSim;
+    use pfair_core::lag::check_pfair;
+    use pfair_core::sched::SchedConfig;
+    use pfair_core::Policy;
+    use proptest::prelude::*;
+
+    fn ts(pairs: &[(u64, u64)]) -> TaskSet {
+        TaskSet::from_pairs(pairs.iter().copied()).unwrap()
+    }
+
+    #[test]
+    fn accepts_pd2_schedule() {
+        let set = ts(&[(2, 3), (2, 3), (2, 3)]);
+        let mut sim = MultiSim::new(&set, SchedConfig::pd2(2));
+        sim.record_schedule();
+        sim.run(30);
+        assert_eq!(check_windows(&set, sim.schedule().unwrap()), Ok(()));
+    }
+
+    #[test]
+    fn rejects_early_and_late() {
+        let set = ts(&[(1, 4)]);
+        // First window is [0, 4); scheduling in slot 4 is late for T1…
+        let late = vec![vec![], vec![], vec![], vec![], vec![TaskId(0)]];
+        let v = check_windows(&set, &late).unwrap_err();
+        assert_eq!((v.index, v.slot), (1, 4));
+        assert!(v.to_string().contains("outside window"));
+        // …and the second subtask's window is [4, 8): slot 1 is early.
+        let early = vec![vec![TaskId(0)], vec![TaskId(0)]];
+        let v = check_windows(&set, &early).unwrap_err();
+        assert_eq!((v.index, v.slot), (2, 1));
+    }
+
+    /// Window containment ⟺ Pfair lag bound, on randomly generated
+    /// schedules. (Kept outside the proptest glob because proptest's
+    /// prelude re-exports an incompatible `Rng` trait.)
+    #[test]
+    fn window_and_lag_checks_agree_on_real_schedules() {
+        use rand::{Rng as _, SeedableRng as _};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+        for _ in 0..50 {
+            // Random feasible set.
+            let n = rng.gen_range(2..6);
+            let mut pairs = Vec::new();
+            for _ in 0..n {
+                let p = rng.gen_range(2u64..12);
+                let e = rng.gen_range(1..=p);
+                pairs.push((e, p));
+            }
+            let set = ts(&pairs);
+            let m = set.min_processors();
+            let mut sim = MultiSim::new(&set, SchedConfig::pd2(m));
+            sim.record_schedule();
+            sim.run(2 * set.hyperperiod().min(5_000));
+            let schedule = sim.schedule().unwrap().to_vec();
+            let lag_ok = check_pfair(&set, &schedule, m).is_ok();
+            let win_ok = check_windows(&set, &schedule).is_ok();
+            assert_eq!(lag_ok, win_ok, "set {pairs:?}");
+            assert!(win_ok, "PD2 schedules are always valid: {pairs:?}");
+        }
+    }
+
+    proptest! {
+        /// PD² passes both checks for arbitrary feasible task sets — the
+        /// optimality property (Srinivasan & Anderson [39]) observed
+        /// empirically.
+        #[test]
+        fn prop_pd2_always_valid(
+            raw in prop::collection::vec((1u64..8, 2u64..14), 2..7),
+            seed_m_extra in 0u32..2,
+        ) {
+            let pairs: Vec<(u64, u64)> = raw.iter().map(|&(e, p)| (e.min(p), p)).collect();
+            let set = ts(&pairs);
+            let m = set.min_processors() + seed_m_extra;
+            let horizon = (2 * set.hyperperiod()).min(4_000);
+            let mut sim = MultiSim::new(&set, SchedConfig::pd2(m));
+            sim.record_schedule();
+            sim.run(horizon);
+            prop_assert_eq!(sim.metrics().misses, 0);
+            prop_assert_eq!(check_windows(&set, sim.schedule().unwrap()), Ok(()));
+            prop_assert!(check_pfair(&set, sim.schedule().unwrap(), m).is_ok());
+        }
+
+        /// PF and PD are optimal too: no misses on feasible sets.
+        #[test]
+        fn prop_pf_pd_optimal(
+            raw in prop::collection::vec((1u64..6, 2u64..10), 2..6),
+            pol in prop::sample::select(vec![Policy::Pf, Policy::Pd]),
+        ) {
+            let pairs: Vec<(u64, u64)> = raw.iter().map(|&(e, p)| (e.min(p), p)).collect();
+            let set = ts(&pairs);
+            let m = set.min_processors();
+            let horizon = (2 * set.hyperperiod()).min(3_000);
+            let mut sim = MultiSim::new(&set, SchedConfig::pd2(m).with_policy(pol));
+            let metrics = sim.run(horizon);
+            prop_assert_eq!(metrics.misses, 0, "{} missed", pol.name());
+        }
+    }
+}

@@ -1,0 +1,107 @@
+//! Confidence intervals.
+//!
+//! The paper reports 99% confidence intervals for every experiment; with
+//! 1000 samples per point the normal approximation is exact enough, and
+//! for smaller pilot runs a small-`n` Student-t table widens the interval
+//! appropriately.
+
+use crate::welford::Welford;
+
+/// Two-sided critical value of the standard normal for the given
+/// confidence level (supported: 0.90, 0.95, 0.99).
+pub fn z_for_confidence(confidence: f64) -> f64 {
+    match confidence {
+        c if (c - 0.90).abs() < 1e-9 => 1.6449,
+        c if (c - 0.95).abs() < 1e-9 => 1.9600,
+        c if (c - 0.99).abs() < 1e-9 => 2.5758,
+        other => panic!("unsupported confidence level {other}"),
+    }
+}
+
+/// Two-sided Student-t critical value at 99% confidence for `df` degrees of
+/// freedom (tabulated for small df, normal beyond 30).
+fn t99(df: u64) -> f64 {
+    const TABLE: [f64; 30] = [
+        63.657, 9.925, 5.841, 4.604, 4.032, 3.707, 3.499, 3.355, 3.250, 3.169, 3.106, 3.055,
+        3.012, 2.977, 2.947, 2.921, 2.898, 2.878, 2.861, 2.845, 2.831, 2.819, 2.807, 2.797,
+        2.787, 2.779, 2.771, 2.763, 2.756, 2.750,
+    ];
+    if df == 0 {
+        f64::INFINITY
+    } else if df <= 30 {
+        TABLE[(df - 1) as usize]
+    } else {
+        2.5758
+    }
+}
+
+/// Half-width of the 99% CI of the mean of `w` (Student-t for small n).
+pub fn ci99_halfwidth(w: &Welford) -> f64 {
+    if w.count() < 2 {
+        return f64::INFINITY;
+    }
+    t99(w.count() - 1) * w.sem()
+}
+
+/// Half-width of the CI at the given confidence (normal approximation;
+/// use [`ci99_halfwidth`] for small samples at 99%).
+pub fn ci_halfwidth(w: &Welford, confidence: f64) -> f64 {
+    if w.count() < 2 {
+        return f64::INFINITY;
+    }
+    z_for_confidence(confidence) * w.sem()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn z_values() {
+        assert!((z_for_confidence(0.99) - 2.5758).abs() < 1e-9);
+        assert!((z_for_confidence(0.95) - 1.96).abs() < 1e-9);
+        assert!((z_for_confidence(0.90) - 1.6449).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported")]
+    fn unsupported_confidence_panics() {
+        let _ = z_for_confidence(0.5);
+    }
+
+    #[test]
+    fn t_shrinks_toward_z() {
+        assert!(t99(1) > t99(2));
+        assert!(t99(29) > t99(31));
+        assert_eq!(t99(1000), 2.5758);
+        assert_eq!(t99(0), f64::INFINITY);
+    }
+
+    #[test]
+    fn halfwidth_scales_with_sqrt_n() {
+        let small: Welford = (0..100).map(|i| (i % 10) as f64).collect();
+        let big: Welford = (0..10_000).map(|i| (i % 10) as f64).collect();
+        let hs = ci99_halfwidth(&small);
+        let hb = ci99_halfwidth(&big);
+        // Same distribution, 100× the samples → ~10× narrower.
+        assert!((hs / hb - 10.0).abs() < 0.5, "ratio {}", hs / hb);
+    }
+
+    #[test]
+    fn degenerate_cases() {
+        let empty = Welford::new();
+        assert_eq!(ci99_halfwidth(&empty), f64::INFINITY);
+        let one: Welford = [5.0].into_iter().collect();
+        assert_eq!(ci99_halfwidth(&one), f64::INFINITY);
+        let constant: Welford = [5.0; 10].into_iter().collect();
+        assert_eq!(ci99_halfwidth(&constant), 0.0);
+    }
+
+    #[test]
+    fn normal_vs_t_consistency() {
+        let w: Welford = (0..1000).map(|i| (i % 7) as f64).collect();
+        let z = ci_halfwidth(&w, 0.99);
+        let t = ci99_halfwidth(&w);
+        assert!((z - t).abs() < 1e-12, "large n: t ≈ z");
+    }
+}

@@ -1,0 +1,18 @@
+//! # stats
+//!
+//! Minimal statistics for the experiment harness: streaming moments
+//! (Welford), confidence intervals (the paper reports 99% CIs for every
+//! figure), and plain-text series/table formatting for experiment output.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod ci;
+pub mod percentile;
+pub mod table;
+pub mod welford;
+
+pub use ci::{ci99_halfwidth, ci_halfwidth, z_for_confidence};
+pub use percentile::Samples;
+pub use table::Table;
+pub use welford::Welford;

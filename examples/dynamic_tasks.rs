@@ -1,0 +1,102 @@
+//! Dynamic task systems and temporal isolation (paper §5.2–5.3).
+//!
+//! A virtual-reality render task whose cost swings with scene complexity is
+//! modeled by *reweighting* — a leave-and-join under the rules of \[38\]:
+//! a light task may leave at `d(Tᵢ) + b(Tᵢ)` of its last-scheduled subtask,
+//! a heavy one after its next group deadline, and its weight only frees up
+//! then (otherwise a leave/re-join could run above its prescribed rate).
+//!
+//! Temporal isolation falls out of fairness: the other tasks' allocations
+//! are provably unaffected by the churn — which this example checks.
+//!
+//! ```text
+//! cargo run --release -p experiments --example dynamic_tasks
+//! ```
+
+use pfair_core::sched::{JoinError, PfairScheduler, SchedConfig};
+use pfair_model::{Task, TaskId, TaskSet};
+
+fn main() {
+    // Two processors. Steady tasks: audio (1/4), physics (1/2), UI (1/4).
+    // The renderer starts light (1/4) and wants to go heavy (3/4) when the
+    // scene gets complex.
+    let mut tasks = TaskSet::new();
+    let audio = tasks.push(Task::new(1, 4).unwrap());
+    let physics = tasks.push(Task::new(1, 2).unwrap());
+    let ui = tasks.push(Task::new(1, 4).unwrap());
+    let renderer = tasks.push(Task::new(1, 4).unwrap());
+    let mut sched = PfairScheduler::new(&tasks, SchedConfig::pd2(2));
+    println!("t=0: steady state, total weight {}", tasks.total_utilization());
+
+    let mut out = Vec::new();
+    let mut tick = |s: &mut PfairScheduler, from: u64, to: u64| {
+        let mut o = std::mem::take(&mut out);
+        for t in from..to {
+            o.clear();
+            s.tick(t, &mut o);
+        }
+        out = o;
+    };
+
+    // Run 100 slots, then the scene gets complex: reweight the renderer
+    // 1/4 → 3/4 via leave + join.
+    tick(&mut sched, 0, 100);
+    let _audio_at_100 = sched.allocations(audio);
+
+    let free_at = sched.leave(renderer, 100).expect("renderer is active");
+    println!("t=100: renderer leaves; weight frees at t={free_at}");
+
+    // An immediate heavyweight re-join may be rejected while the old weight
+    // is still charged — exactly the paper's leave-rule hazard.
+    let heavy_renderer: TaskId;
+    let mut t = 100;
+    loop {
+        match sched.join(Task::new(3, 4).unwrap(), t) {
+            Ok(id) => {
+                heavy_renderer = id;
+                println!("t={t}: renderer re-joined at weight 3/4");
+                break;
+            }
+            Err(JoinError::Overload) => {
+                tick(&mut sched, t, t + 1);
+                t += 1;
+                assert!(t <= free_at + 1, "join must succeed once weight frees");
+            }
+        }
+    }
+
+    // Run 400 more slots with the heavy renderer.
+    let start = t;
+    tick(&mut sched, t, start + 400);
+    assert!(sched.misses().is_empty(), "{:?}", sched.misses());
+
+    // Temporal isolation: audio still receives exactly its 1/4 rate across
+    // the churn window (± one quantum of lag slack).
+    let audio_total = sched.allocations(audio);
+    let expected = (start + 400) / 4;
+    assert!(
+        (audio_total as i64 - expected as i64).abs() <= 1,
+        "audio got {audio_total}, expected ≈{expected}"
+    );
+    println!(
+        "audio allocation across churn: {audio_total} quanta over {} slots (rate {:.4} ≈ 1/4) ✓",
+        start + 400,
+        audio_total as f64 / (start + 400) as f64
+    );
+
+    // The heavy renderer receives 3/4 from its join onward.
+    let renderer_total = sched.allocations(heavy_renderer);
+    let span = start + 400 - t;
+    println!(
+        "renderer (3/4) got {renderer_total} quanta over {span} post-join slots (rate {:.4})",
+        renderer_total as f64 / span as f64
+    );
+    assert!((renderer_total as f64 / span as f64 - 0.75).abs() < 0.01);
+
+    // Sanity: physics and UI also held their rates.
+    for (id, w) in [(physics, 0.5), (ui, 0.25)] {
+        let rate = sched.allocations(id) as f64 / (start + 400) as f64;
+        assert!((rate - w).abs() < 0.01, "{id} rate {rate}");
+    }
+    println!("physics and UI rates held steady through join/leave churn ✓");
+}

@@ -1,0 +1,120 @@
+//! Fault tolerance and overload under Pfair scheduling (paper §5.4).
+//!
+//! "If there are critical tasks in the system, then non-critical tasks can
+//! be reweighted to execute at a slower rate, thus ensuring that critical
+//! tasks are not affected by the overload. Further, in the special case in
+//! which total utilization is at most M − K, the optimality and global
+//! nature of Pfair scheduling ensures that the system can tolerate the
+//! loss of K processors transparently."
+//!
+//! This example runs a 4-processor system, fails one processor at t = 500,
+//! and shows both regimes:
+//!
+//! 1. **Transparent** — total utilization ≤ 3, so dropping to M = 3 needs
+//!    no intervention at all.
+//! 2. **Reweighting** — utilization above 3; the non-critical batch tasks
+//!    leave and re-join at half weight (reweighting = leave + join, §5.2),
+//!    and the critical tasks never miss.
+//!
+//! ```text
+//! cargo run --release -p experiments --example fault_tolerance
+//! ```
+
+use pfair_core::sched::{PfairScheduler, SchedConfig};
+use pfair_model::{Task, TaskId, TaskSet};
+
+/// Drives `sched` from `from` to `to`, returning quanta per task.
+fn run_span(
+    sched: &mut PfairScheduler,
+    from: u64,
+    to: u64,
+    n_tasks: usize,
+) -> Vec<u64> {
+    let before: Vec<u64> = (0..n_tasks)
+        .map(|i| {
+            if sched.is_active(TaskId(i as u32)) {
+                sched.allocations(TaskId(i as u32))
+            } else {
+                0
+            }
+        })
+        .collect();
+    let mut out = Vec::new();
+    for t in from..to {
+        out.clear();
+        sched.tick(t, &mut out);
+    }
+    (0..n_tasks)
+        .map(|i| {
+            if sched.is_active(TaskId(i as u32)) {
+                sched.allocations(TaskId(i as u32)) - before[i]
+            } else {
+                0
+            }
+        })
+        .collect()
+}
+
+fn main() {
+    // Scenario 2 is the interesting one; scenario 1 falls out of it.
+    // 2 critical control tasks (1/2 each) + 4 batch tasks (5/8 each):
+    // total = 1 + 2.5 = 3.5 on M = 4.
+    let mut tasks = TaskSet::new();
+    let critical: Vec<TaskId> = (0..2)
+        .map(|_| tasks.push(Task::new(1, 2).unwrap()))
+        .collect();
+    let batch: Vec<TaskId> = (0..4)
+        .map(|_| tasks.push(Task::new(5, 8).unwrap()))
+        .collect();
+
+    println!("before failure: M = 4, total weight = {}", tasks.total_utilization());
+
+    // We cannot shrink M mid-run (a real system would re-admit against the
+    // reduced capacity); model the failure by constructing the post-failure
+    // system the way a recovery handler would: reweight the batch tasks,
+    // then continue on M = 3. The pre-failure phase runs on M = 4.
+    let mut sched = PfairScheduler::new(&tasks, SchedConfig::pd2(4));
+    let got = run_span(&mut sched, 0, 500, tasks.len());
+    println!("  [0, 500): critical got {:?}, batch got {:?}", &got[..2], &got[2..]);
+    for &c in &critical {
+        assert!((got[c.index()] as i64 - 250).abs() <= 1, "critical rate held");
+    }
+    assert!(sched.misses().is_empty());
+
+    // --- processor failure at t = 500: K = 1, M drops to 3 -------------
+    // Batch tasks reweight 5/8 → 5/16: new total = 1 + 1.25 = 2.25 ≤ 3.
+    println!("\nprocessor failure: M = 4 → 3; batch tasks reweight 5/8 → 5/16");
+    let mut after = TaskSet::new();
+    for _ in &critical {
+        after.push(Task::new(1, 2).unwrap());
+    }
+    for _ in &batch {
+        after.push(Task::new(5, 16).unwrap());
+    }
+    let mut sched = PfairScheduler::new(&after, SchedConfig::pd2(3));
+    let got = run_span(&mut sched, 0, 1_000, after.len());
+    println!("  next 1000 slots: critical got {:?}, batch got {:?}", &got[..2], &got[2..]);
+    for &c in &critical {
+        assert!((got[c.index()] as i64 - 500).abs() <= 1);
+    }
+    assert!(sched.misses().is_empty());
+    println!("critical tasks unaffected; batch degraded gracefully ✓");
+
+    // --- transparent case: U ≤ M − K needs no intervention -------------
+    // The same system without one batch task: total = 1 + 1.875 = 2.875 ≤ 3,
+    // so losing one of four processors is absorbed silently.
+    let mut light = TaskSet::new();
+    for _ in 0..2 {
+        light.push(Task::new(1, 2).unwrap());
+    }
+    for _ in 0..3 {
+        light.push(Task::new(5, 8).unwrap());
+    }
+    let mut sched = PfairScheduler::new(&light, SchedConfig::pd2(3));
+    let _ = run_span(&mut sched, 0, 1_000, light.len());
+    assert!(sched.misses().is_empty());
+    println!(
+        "\ntransparent case: U = {} ≤ M − K = 3 → zero misses on 3 processors ✓",
+        light.total_utilization()
+    );
+}

@@ -1,0 +1,102 @@
+//! A multimedia server scheduled with intra-sporadic Pfair tasks.
+//!
+//! The paper motivates the IS model with "applications … involving packets
+//! arriving over a network. Due to network congestion and other factors,
+//! packets may arrive late or in bursts" (Section 2). This example models a
+//! small streaming server: several video decode/transmit flows whose work
+//! arrives as packets with random jitter, plus steady background tasks —
+//! all on a 4-processor box under PD² with ERfair (work-conserving)
+//! dispatch.
+//!
+//! Late packets become IS delays (θ grows, windows shift right); the
+//! scheduler still meets every (shifted) pseudo-deadline, demonstrating the
+//! IS feasibility result: `Σ wt ≤ M` is all that is needed.
+//!
+//! ```text
+//! cargo run --release -p experiments --example video_server
+//! ```
+
+use pfair_core::sched::{DelayModel, EarlyRelease, PfairScheduler, SchedConfig};
+use pfair_core::subtask::SubtaskIndex;
+use pfair_model::{TaskId, TaskSet};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Random network jitter: each subtask (≈ packet) of a flow is late with
+/// probability `p_late`, by 1–3 slots. Deterministic per seed.
+struct NetworkJitter {
+    rng: StdRng,
+    p_late: f64,
+    /// Only these tasks are network flows; others release synchronously.
+    flows: Vec<TaskId>,
+}
+
+impl DelayModel for NetworkJitter {
+    fn delay(&mut self, task: TaskId, _i: SubtaskIndex) -> u64 {
+        if self.flows.contains(&task) && self.rng.gen_bool(self.p_late) {
+            self.rng.gen_range(1..=3)
+        } else {
+            0
+        }
+    }
+}
+
+fn main() {
+    // Quantum = 1 ms. Four 30-fps video flows (one quantum of work per
+    // ~33 ms frame ⇒ weight 1/33… use 1/32 for a round structure), two
+    // audio flows (1/8), and two background maintenance tasks (1/4).
+    let mut tasks = TaskSet::new();
+    let mut flows = Vec::new();
+    for _ in 0..4 {
+        flows.push(tasks.push(pfair_model::Task::new(1, 32).unwrap()));
+    }
+    for _ in 0..2 {
+        flows.push(tasks.push(pfair_model::Task::new(1, 8).unwrap()));
+    }
+    tasks.push(pfair_model::Task::new(1, 4).unwrap());
+    tasks.push(pfair_model::Task::new(1, 4).unwrap());
+
+    let m = 1; // Σ = 4/32 + 2/8 + 2/4 = 0.875 → one processor suffices
+    println!(
+        "video server: {} tasks, total weight {}, {} processor(s)",
+        tasks.len(),
+        tasks.total_utilization(),
+        m
+    );
+
+    let jitter = NetworkJitter {
+        rng: StdRng::seed_from_u64(2026),
+        p_late: 0.15,
+        flows,
+    };
+    let cfg = SchedConfig::pd2(m).with_early_release(EarlyRelease::IntraJob);
+    let mut sched = PfairScheduler::with_delays(&tasks, cfg, jitter);
+
+    let horizon = 32 * 1_000; // 32 s of 1 ms quanta
+    let mut busy = 0u64;
+    let mut out = Vec::new();
+    for t in 0..horizon {
+        out.clear();
+        sched.tick(t, &mut out);
+        busy += out.len() as u64;
+    }
+
+    println!("simulated {horizon} quanta ({} s)", horizon / 1_000);
+    println!(
+        "processor utilization: {:.1}%",
+        100.0 * busy as f64 / horizon as f64
+    );
+    for id in tasks.ids() {
+        println!(
+            "  {id}: {} quanta (weight {})",
+            sched.allocations(id),
+            sched.weight_of(id)
+        );
+    }
+    assert!(
+        sched.misses().is_empty(),
+        "IS feasibility guarantees no misses: {:?}",
+        sched.misses()
+    );
+    println!("no pseudo-deadline misses despite 15% late packets ✓");
+}

@@ -1,0 +1,124 @@
+//! E12 — optimality and the tie-break ablation, across crates.
+//!
+//! PD², PD, and PF are optimal: zero misses on any feasible set. EPDF
+//! (earliest-pseudo-deadline-first with *no* tie-breaks) is not optimal for
+//! M > 2 — the tie-breaks are load-bearing. This test hunts for an EPDF
+//! counterexample over seeded random heavy task sets at full utilization
+//! and requires (a) that one exists and (b) that PD² schedules every one of
+//! the same sets.
+
+use pfair_core::sched::SchedConfig;
+use pfair_core::Policy;
+use pfair_model::TaskSet;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sched_sim::MultiSim;
+
+/// Random fully-utilizing task sets built from heavy tasks plus a filler:
+/// the regime where EPDF's missing tie-breaks bite.
+fn full_util_heavy_set(rng: &mut StdRng, m: u32) -> TaskSet {
+    let mut budget_num = (m as u64) * 60; // utilization in 60ths
+    let mut pairs: Vec<(u64, u64)> = Vec::new();
+    while budget_num > 30 {
+        // Heavy weights from {1/2, 3/5, 2/3, 3/4, 5/6}: in 60ths:
+        let (e, p, cost) = match rng.gen_range(0..5) {
+            0 => (1u64, 2u64, 30u64),
+            1 => (3, 5, 36),
+            2 => (2, 3, 40),
+            3 => (3, 4, 45),
+            _ => (5, 6, 50),
+        };
+        if cost <= budget_num {
+            pairs.push((e, p));
+            budget_num -= cost;
+        } else {
+            break;
+        }
+    }
+    if budget_num > 0 {
+        pairs.push((budget_num, 60)); // exact filler
+    }
+    TaskSet::from_pairs(pairs).unwrap()
+}
+
+#[test]
+fn epdf_misses_somewhere_pd2_never_does() {
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut epdf_missed_once = false;
+    for trial in 0..60 {
+        let m = rng.gen_range(3..=6);
+        let set = full_util_heavy_set(&mut rng, m);
+        assert!(set.feasible_on(m), "trial {trial}");
+        let horizon = (4 * set.hyperperiod()).min(20_000);
+
+        let mut pd2 = MultiSim::new(&set, SchedConfig::pd2(m));
+        assert_eq!(
+            pd2.run(horizon).misses,
+            0,
+            "PD2 must never miss (trial {trial}, M={m})"
+        );
+
+        let mut epdf = MultiSim::new(&set, SchedConfig::pd2(m).with_policy(Policy::Epdf));
+        if epdf.run(horizon).misses > 0 {
+            epdf_missed_once = true;
+        }
+    }
+    assert!(
+        epdf_missed_once,
+        "expected at least one EPDF counterexample across 60 full-utilization sets"
+    );
+}
+
+/// On one or two processors EPDF *is* optimal (Anderson & Srinivasan);
+/// verify no misses there.
+#[test]
+fn epdf_is_optimal_on_two_processors() {
+    let mut rng = StdRng::seed_from_u64(11);
+    for _ in 0..40 {
+        let set = full_util_heavy_set(&mut rng, 2);
+        let horizon = (4 * set.hyperperiod()).min(20_000);
+        let mut epdf = MultiSim::new(&set, SchedConfig::pd2(2).with_policy(Policy::Epdf));
+        assert_eq!(epdf.run(horizon).misses, 0, "set {set:?}");
+    }
+}
+
+/// All four policies agree on total allocation volume over hyperperiods
+/// (fairness of volume), even where EPDF misses windows.
+#[test]
+fn allocation_volume_is_policy_independent() {
+    let set = TaskSet::from_pairs([(2u64, 3u64), (3, 4), (5, 6), (1, 12), (2, 3), (1, 2)]).unwrap();
+    let m = set.min_processors();
+    let h = set.hyperperiod();
+    let mut volumes = Vec::new();
+    for pol in Policy::ALL {
+        let mut sim = MultiSim::new(&set, SchedConfig::pd2(m).with_policy(pol));
+        let metrics = sim.run(2 * h);
+        volumes.push(metrics.allocated_quanta);
+    }
+    assert!(
+        volumes.windows(2).all(|w| w[0] == w[1]),
+        "volumes {volumes:?}"
+    );
+}
+
+/// PF and PD² can order subtasks differently, but both remain miss-free;
+/// sanity-check on a heavy mixed set.
+#[test]
+fn pf_pd_pd2_all_optimal_on_mixed_set() {
+    let set = TaskSet::from_pairs([
+        (8u64, 11u64),
+        (5, 7),
+        (3, 4),
+        (2, 3),
+        (1, 2),
+        (5, 6),
+        (7, 12),
+    ])
+    .unwrap();
+    let m = set.min_processors();
+    for pol in [Policy::Pf, Policy::Pd, Policy::Pd2] {
+        let mut sim = MultiSim::new(&set, SchedConfig::pd2(m).with_policy(pol));
+        let metrics = sim.run(4 * set.hyperperiod().min(25_000));
+        assert_eq!(metrics.misses, 0, "{}", pol.name());
+    }
+}

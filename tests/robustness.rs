@@ -1,0 +1,130 @@
+//! Robustness property tests: the optimality and feasibility claims of
+//! Sections 2 and 5, under randomized stress — early releases, IS delays,
+//! and join/leave churn.
+
+use pfair_core::sched::{
+    DelayModel, EarlyRelease, JoinError, PfairScheduler, SchedConfig,
+};
+use pfair_core::subtask::SubtaskIndex;
+use pfair_model::{Task, TaskId, TaskSet};
+use proptest::prelude::*;
+use sched_sim::MultiSim;
+
+fn arb_taskset(max_tasks: usize) -> impl Strategy<Value = TaskSet> {
+    prop::collection::vec((1u64..8, 2u64..16), 1..max_tasks).prop_map(|raw| {
+        TaskSet::from_pairs(raw.into_iter().map(|(e, p)| (e.min(p), p))).unwrap()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// ERfair never introduces misses: early releases only consume slack.
+    #[test]
+    fn erfair_preserves_deadlines(set in arb_taskset(7), er in prop::sample::select(vec![
+        EarlyRelease::IntraJob,
+        EarlyRelease::Unrestricted,
+    ])) {
+        let m = set.min_processors();
+        let horizon = (2 * set.hyperperiod()).min(4_000);
+        let cfg = SchedConfig::pd2(m).with_early_release(er);
+        let mut sim = MultiSim::new(&set, cfg);
+        prop_assert_eq!(sim.run(horizon).misses, 0);
+    }
+
+    /// IS delays never cause misses (feasibility is unaffected by late
+    /// releases: windows shift right together).
+    #[test]
+    fn is_delays_preserve_deadlines(
+        set in arb_taskset(6),
+        seed in 0u64..1_000,
+        p_late_pct in 0u32..40,
+    ) {
+        struct RandomDelays {
+            rng: rand::rngs::StdRng,
+            p_pct: u32,
+        }
+        impl DelayModel for RandomDelays {
+            fn delay(&mut self, _: TaskId, _: SubtaskIndex) -> u64 {
+                use rand::Rng as _;
+                if self.rng.gen_range(0..100) < self.p_pct {
+                    self.rng.gen_range(1..4)
+                } else {
+                    0
+                }
+            }
+        }
+        use rand::SeedableRng as _;
+        let m = set.min_processors();
+        let horizon = (2 * set.hyperperiod()).min(4_000);
+        let delays = RandomDelays {
+            rng: rand::rngs::StdRng::seed_from_u64(seed),
+            p_pct: p_late_pct,
+        };
+        let mut sched = PfairScheduler::with_delays(&set, SchedConfig::pd2(m), delays);
+        sched.run(horizon);
+        prop_assert!(sched.misses().is_empty(), "{:?}", sched.misses());
+    }
+
+    /// Join/leave churn never causes misses, and the admission guard plus
+    /// the deferred weight release keep Σw ≤ M at all times.
+    #[test]
+    fn join_leave_churn_preserves_deadlines(
+        base in arb_taskset(4),
+        churn in prop::collection::vec((1u64..6, 2u64..12, 1u64..200), 0..12),
+    ) {
+        let m = base.min_processors() + 1; // headroom for joiners
+        let mut sched = PfairScheduler::new(&base, SchedConfig::pd2(m));
+        let horizon = 2_000u64;
+        let mut joined: Vec<TaskId> = Vec::new();
+        let mut events: Vec<(u64, Task)> = churn
+            .into_iter()
+            .map(|(e, p, at)| (at * 7 % horizon, Task::new(e.min(p), p).unwrap()))
+            .collect();
+        events.sort_by_key(|&(at, _)| at);
+        let mut out = Vec::new();
+        let mut next = 0usize;
+        for t in 0..horizon {
+            // Alternate: at event times, either join a new task or remove
+            // the oldest joiner.
+            while next < events.len() && events[next].0 == t {
+                let (_, task) = events[next];
+                next += 1;
+                if next % 2 == 0 {
+                    match sched.join(task, t) {
+                        Ok(id) => joined.push(id),
+                        Err(JoinError::Overload) => {} // correctly rejected
+                    }
+                } else if let Some(id) = joined.pop() {
+                    let _ = sched.leave(id, t);
+                }
+            }
+            prop_assert!(sched.total_weight().to_f64() <= m as f64 + 1e-6);
+            out.clear();
+            sched.tick(t, &mut out);
+            prop_assert!(out.len() <= m as usize);
+        }
+        prop_assert!(sched.misses().is_empty(), "{:?}", sched.misses());
+    }
+
+    /// The dispatch engine's invariants hold under any feasible workload:
+    /// allocation bookkeeping is exact and the per-job preemption bound of
+    /// Section 4 is respected in aggregate.
+    #[test]
+    fn engine_accounting_invariants(set in arb_taskset(7), extra in 0u32..2) {
+        let m = set.min_processors() + extra;
+        let horizon = (2 * set.hyperperiod()).min(4_000);
+        let mut sim = MultiSim::new(&set, SchedConfig::pd2(m));
+        let metrics = sim.run(horizon);
+        prop_assert_eq!(metrics.allocated_quanta + metrics.idle_quanta,
+            horizon * m as u64);
+        let mut bound = 0u64;
+        for (_, t) in set.iter() {
+            let jobs = horizon / t.period + 1;
+            bound += jobs * (t.exec - 1).min(t.period - t.exec);
+        }
+        prop_assert!(metrics.preemptions <= bound);
+        prop_assert!(metrics.context_switches >= metrics.migrations);
+        prop_assert_eq!(metrics.misses, 0);
+    }
+}
