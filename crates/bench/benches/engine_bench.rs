@@ -22,13 +22,39 @@ fn engine_slots(c: &mut Criterion) {
                 &tasks,
                 |b, tasks| {
                     b.iter(|| {
-                        let mut sim =
-                            MultiSim::new(tasks, SchedConfig::pd2(m).with_policy(pol));
+                        let mut sim = MultiSim::new(tasks, SchedConfig::pd2(m).with_policy(pol));
                         black_box(sim.run(SLOTS).allocated_quanta)
                     });
                 },
             );
         }
+    }
+    group.finish();
+}
+
+/// The obs ablation: identical engine runs with the recorder disabled
+/// (default — must cost nothing) and enabled (counters + span timers on
+/// every tick and dispatch).
+fn engine_obs_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_obs");
+    const SLOTS: u64 = 1_000;
+    let (n, m) = (100usize, 4u32);
+    let tasks = quantum_workload(n, m, 21);
+    group.throughput(Throughput::Elements(SLOTS));
+    for enabled in [false, true] {
+        let label = if enabled {
+            "recorder_on"
+        } else {
+            "recorder_off"
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(label), &tasks, |b, tasks| {
+            let rec = obs::Recorder::new(enabled);
+            b.iter(|| {
+                let mut sim = MultiSim::new(tasks, SchedConfig::pd2(m));
+                sim.set_recorder(&rec);
+                black_box(sim.run(SLOTS).allocated_quanta)
+            });
+        });
     }
     group.finish();
 }
@@ -62,6 +88,6 @@ fn quick_config() -> Criterion {
 criterion_group! {
     name = benches;
     config = quick_config();
-    targets = engine_slots, global_edf_slots
+    targets = engine_slots, engine_obs_overhead, global_edf_slots
 }
 criterion_main!(benches);

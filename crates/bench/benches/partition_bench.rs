@@ -25,22 +25,13 @@ fn heuristics(c: &mut Criterion) {
         let pairs = phys_pairs(n, n as f64 / 4.0, 7);
         let acc = EdfUtilization::new(&pairs);
         for h in Heuristic::ALL {
-            group.bench_with_input(
-                BenchmarkId::new(h.name(), n),
-                &pairs,
-                |b, pairs| {
-                    b.iter(|| {
-                        let r = partition_unbounded(
-                            pairs.len(),
-                            &acc,
-                            h,
-                            SortOrder::None,
-                            keys_for(pairs),
-                        );
-                        black_box(r.map(|r| r.processors))
-                    });
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(h.name(), n), &pairs, |b, pairs| {
+                b.iter(|| {
+                    let r =
+                        partition_unbounded(pairs.len(), &acc, h, SortOrder::None, keys_for(pairs));
+                    black_box(r.map(|r| r.processors))
+                });
+            });
         }
         // FFD pays an extra sort.
         group.bench_with_input(BenchmarkId::new("FFD", n), &pairs, |b, pairs| {
@@ -63,10 +54,7 @@ fn overhead_aware_ff(c: &mut Criterion) {
     let mut group = c.benchmark_group("edf_ff_overhead_aware");
     for &n in &[50usize, 250, 1000] {
         let pairs = phys_pairs(n, n as f64 / 5.0, 11);
-        let tasks: Vec<PhysTask> = pairs
-            .iter()
-            .map(|&(e, p)| PhysTask::new(e, p))
-            .collect();
+        let tasks: Vec<PhysTask> = pairs.iter().map(|&(e, p)| PhysTask::new(e, p)).collect();
         let d = vec![33.3; n];
         let acc = EdfOverheadAware::new(&tasks, &d, OverheadParams::paper2003());
         group.bench_with_input(BenchmarkId::from_parameter(n), &tasks, |b, tasks| {

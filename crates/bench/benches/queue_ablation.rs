@@ -19,22 +19,18 @@ fn queue_ablation(c: &mut Criterion) {
         for &n in &[50usize, 250, 1000] {
             let tasks = quantum_workload(n, 4, 42);
             group.throughput(Throughput::Elements(1));
-            group.bench_with_input(
-                BenchmarkId::new(kind.name(), n),
-                &tasks,
-                |b, tasks| {
-                    let cfg = SchedConfig::pd2(4).with_queue(kind);
-                    let mut sched = PfairScheduler::new(tasks, cfg);
-                    let mut now = 0u64;
-                    let mut out = Vec::with_capacity(4);
-                    b.iter(|| {
-                        out.clear();
-                        sched.tick(now, &mut out);
-                        now += 1;
-                        black_box(out.len())
-                    });
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(kind.name(), n), &tasks, |b, tasks| {
+                let cfg = SchedConfig::pd2(4).with_queue(kind);
+                let mut sched = PfairScheduler::new(tasks, cfg);
+                let mut now = 0u64;
+                let mut out = Vec::with_capacity(4);
+                b.iter(|| {
+                    out.clear();
+                    sched.tick(now, &mut out);
+                    now += 1;
+                    black_box(out.len())
+                });
+            });
         }
     }
     group.finish();

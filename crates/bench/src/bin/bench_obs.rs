@@ -1,0 +1,43 @@
+//! Converts the criterion harness's line-delimited `BENCH_JSON_OUT`
+//! records into the structured `BENCH_obs.json` perf-trajectory report.
+//!
+//! ```text
+//! BENCH_JSON_OUT=/tmp/bench.jsonl cargo bench -p pfair-bench
+//! cargo run -p pfair-bench --bin bench_obs -- --in /tmp/bench.jsonl --out BENCH_obs.json
+//! ```
+
+use pfair_bench::BenchReport;
+
+fn arg_value(args: &[String], key: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == key)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let input = arg_value(&args, "--in").unwrap_or_else(|| "/tmp/bench.jsonl".to_string());
+    let output = arg_value(&args, "--out").unwrap_or_else(|| "BENCH_obs.json".to_string());
+
+    let jsonl = match std::fs::read_to_string(&input) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: cannot read {input}: {e}");
+            eprintln!("run the benches first: BENCH_JSON_OUT={input} cargo bench -p pfair-bench");
+            std::process::exit(1);
+        }
+    };
+    let (report, bad) = BenchReport::from_jsonl(&input, &jsonl);
+    if bad > 0 {
+        eprintln!("warning: skipped {bad} unparseable record line(s)");
+    }
+    if let Err(e) = std::fs::write(&output, report.to_json()) {
+        eprintln!("error: cannot write {output}: {e}");
+        std::process::exit(1);
+    }
+    eprintln!(
+        "{} benchmark record(s) written to {output}",
+        report.benches.len()
+    );
+}

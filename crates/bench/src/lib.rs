@@ -20,6 +20,10 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod report;
+
+pub use report::{BenchRecord, BenchReport};
+
 use pfair_model::{Task, TaskSet};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};

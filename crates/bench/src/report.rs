@@ -1,0 +1,97 @@
+//! The `BENCH_obs.json` writer.
+//!
+//! The criterion harness appends one JSON record per benchmark to the file
+//! named by `BENCH_JSON_OUT` while `cargo bench` runs. This module folds
+//! those line-delimited records into a single structured `BENCH_obs.json`
+//! report (last run wins per benchmark name), so the repo accumulates a
+//! machine-readable perf trajectory:
+//!
+//! ```text
+//! BENCH_JSON_OUT=/tmp/bench.jsonl cargo bench -p pfair-bench
+//! cargo run -p pfair-bench --bin bench_obs -- --in /tmp/bench.jsonl
+//! ```
+
+use serde::{Deserialize, Serialize};
+
+/// One benchmark's measurement.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BenchRecord {
+    /// Benchmark label (`group/function/param`).
+    pub name: String,
+    /// Median wall time per iteration.
+    pub ns_per_iter: f64,
+    /// Declared elements per iteration (0 when no throughput was set).
+    pub throughput_elems: u64,
+}
+
+/// The `BENCH_obs.json` document.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BenchReport {
+    /// Where the raw records came from.
+    pub source: String,
+    /// One entry per benchmark, sorted by name; re-runs of the same
+    /// benchmark keep only the latest record.
+    pub benches: Vec<BenchRecord>,
+}
+
+impl BenchReport {
+    /// Folds line-delimited criterion records into a report. Lines that
+    /// fail to parse are counted, not fatal (a crashed bench run must not
+    /// invalidate the records before it).
+    pub fn from_jsonl(source: &str, jsonl: &str) -> (Self, usize) {
+        let mut benches: Vec<BenchRecord> = Vec::new();
+        let mut bad = 0usize;
+        for line in jsonl.lines().filter(|l| !l.trim().is_empty()) {
+            match serde_json::from_str::<BenchRecord>(line) {
+                Ok(r) => {
+                    benches.retain(|b| b.name != r.name);
+                    benches.push(r);
+                }
+                Err(_) => bad += 1,
+            }
+        }
+        benches.sort_by(|a, b| a.name.cmp(&b.name));
+        (
+            BenchReport {
+                source: source.to_string(),
+                benches,
+            },
+            bad,
+        )
+    }
+
+    /// Pretty JSON rendering.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("report serialization cannot fail")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn folds_and_dedups_records() {
+        let jsonl = r#"{"name":"engine/step/50","ns_per_iter":120.5,"throughput_elems":50}
+{"name":"sched/tick/50","ns_per_iter":80.0,"throughput_elems":0}
+not json
+{"name":"engine/step/50","ns_per_iter":110.0,"throughput_elems":50}
+"#;
+        let (report, bad) = BenchReport::from_jsonl("test", jsonl);
+        assert_eq!(bad, 1);
+        assert_eq!(report.benches.len(), 2);
+        let engine = &report.benches[0];
+        assert_eq!(engine.name, "engine/step/50");
+        assert_eq!(engine.ns_per_iter, 110.0, "latest record wins");
+    }
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let (report, _) = BenchReport::from_jsonl(
+            "t",
+            r#"{"name":"a","ns_per_iter":1.5,"throughput_elems":3}"#,
+        );
+        let back: BenchReport = serde_json::from_str(&report.to_json()).unwrap();
+        assert_eq!(back, report);
+    }
+}

@@ -158,7 +158,11 @@ mod tests {
         let err = check_pfair(&tasks, &schedule, 1).unwrap_err();
         assert!(matches!(
             err,
-            Violation::LagOutOfBounds { task: TaskId(0), time: 2, .. }
+            Violation::LagOutOfBounds {
+                task: TaskId(0),
+                time: 2,
+                ..
+            }
         ));
         assert!(err.to_string().contains("lag"));
     }

@@ -191,7 +191,10 @@ pub enum JoinError {
 
 impl fmt::Display for JoinError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "join rejected: total weight would exceed processor count")
+        write!(
+            f,
+            "join rejected: total weight would exceed processor count"
+        )
     }
 }
 
@@ -345,9 +348,41 @@ impl SchedConfig {
     }
 }
 
+/// Instruments for the `tick` hot path, pre-registered so recording is a
+/// branch plus a relaxed atomic op per event (and nothing at all when the
+/// recorder is disabled — the default).
+struct SchedObs {
+    ticks: obs::Counter,
+    tick_ns: obs::Timer,
+    releases_drained: obs::Counter,
+    heap_pushes: obs::Counter,
+    heap_pops: obs::Counter,
+    stale_skipped: obs::Counter,
+}
+
+impl SchedObs {
+    fn new(rec: &obs::Recorder) -> Self {
+        SchedObs {
+            ticks: rec.counter("sched.ticks"),
+            tick_ns: rec.timer("sched.tick_ns"),
+            releases_drained: rec.counter("sched.releases_drained"),
+            heap_pushes: rec.counter("sched.heap_pushes"),
+            heap_pops: rec.counter("sched.heap_pops"),
+            stale_skipped: rec.counter("sched.stale_skipped"),
+        }
+    }
+}
+
+impl Default for SchedObs {
+    fn default() -> Self {
+        Self::new(&obs::Recorder::disabled())
+    }
+}
+
 /// The global Pfair scheduler (see module docs).
 pub struct PfairScheduler<D: DelayModel = NoDelay> {
     cfg: SchedConfig,
+    metrics: SchedObs,
     tasks: Vec<TaskState>,
     /// Future releases: min-heap of (eligible_slot, task, subtask index).
     releases: BinaryHeap<Reverse<(Slot, TaskId, SubtaskIndex)>>,
@@ -380,6 +415,7 @@ impl PfairScheduler<NoDelay> {
         assert_eq!(tasks.len(), phases.len());
         let mut s = PfairScheduler {
             cfg,
+            metrics: SchedObs::default(),
             tasks: Vec::with_capacity(tasks.len()),
             releases: BinaryHeap::with_capacity(tasks.len()),
             ready: MinQueue::new(cfg.queue),
@@ -390,7 +426,8 @@ impl PfairScheduler<NoDelay> {
             now: 0,
         };
         for ((_, t), &phase) in tasks.iter().zip(phases) {
-            s.admit(*t, phase).expect("initial task set must be feasible");
+            s.admit(*t, phase)
+                .expect("initial task set must be feasible");
         }
         s
     }
@@ -401,6 +438,7 @@ impl<D: DelayModel> PfairScheduler<D> {
     pub fn with_delays(tasks: &TaskSet, cfg: SchedConfig, delays: D) -> Self {
         let mut s = PfairScheduler {
             cfg,
+            metrics: SchedObs::default(),
             tasks: Vec::with_capacity(tasks.len()),
             releases: BinaryHeap::with_capacity(tasks.len()),
             ready: MinQueue::new(cfg.queue),
@@ -414,6 +452,19 @@ impl<D: DelayModel> PfairScheduler<D> {
             s.admit(*t, 0).expect("initial task set must be feasible");
         }
         s
+    }
+
+    /// Routes tick instrumentation (tick count and wall time, releases
+    /// drained, ready-heap pushes/pops, stale entries skipped) to `rec`.
+    /// The default recorder is disabled, making every probe a no-op.
+    pub fn set_recorder(&mut self, rec: &obs::Recorder) {
+        self.metrics = SchedObs::new(rec);
+    }
+
+    /// Builder form of [`Self::set_recorder`].
+    pub fn with_recorder(mut self, rec: &obs::Recorder) -> Self {
+        self.set_recorder(rec);
+        self
     }
 
     /// Number of processors.
@@ -471,10 +522,7 @@ impl<D: DelayModel> PfairScheduler<D> {
     /// Admits a task (internal; shared by construction and `join`).
     fn admit(&mut self, task: Task, now: Slot) -> Result<TaskId, JoinError> {
         let w = task.weight();
-        if !self
-            .total_weight
-            .fits_after_adding(w, self.cfg.processors)
-        {
+        if !self.total_weight.fits_after_adding(w, self.cfg.processors) {
             return Err(JoinError::Overload);
         }
         self.total_weight.add(w);
@@ -566,8 +614,7 @@ impl<D: DelayModel> PfairScheduler<D> {
         new_task: Task,
         now: Slot,
     ) -> Result<TaskId, ReweightError> {
-        self.leave(id, now)
-            .map_err(|_| ReweightError::NoSuchTask)?;
+        self.leave(id, now).map_err(|_| ReweightError::NoSuchTask)?;
         self.join(new_task, now)
             .map_err(|_| ReweightError::Overload)
     }
@@ -578,6 +625,8 @@ impl<D: DelayModel> PfairScheduler<D> {
     pub fn tick(&mut self, now: Slot, out: &mut Vec<TaskId>) {
         assert_eq!(now, self.now, "slots must be scheduled in order");
         self.now = now + 1;
+        self.metrics.ticks.incr();
+        let _tick_span = self.metrics.tick_ns.start();
 
         // 0. Free the weight of departed tasks whose safe point has passed.
         while let Some(&Reverse((at, id))) = self.departures.peek() {
@@ -595,11 +644,14 @@ impl<D: DelayModel> PfairScheduler<D> {
                 break;
             }
             self.releases.pop();
+            self.metrics.releases_drained.incr();
             let st = &self.tasks[id.index()];
             if !st.active || st.next_index != idx {
+                self.metrics.stale_skipped.incr();
                 continue; // stale (task left, or duplicate entry)
             }
             let tag = SubtaskTag::new(id, st.weight, idx, st.theta);
+            self.metrics.heap_pushes.incr();
             self.ready.push(Ranked {
                 tag,
                 policy: self.cfg.policy,
@@ -613,9 +665,11 @@ impl<D: DelayModel> PfairScheduler<D> {
             let Some(ranked) = self.ready.pop() else {
                 break;
             };
+            self.metrics.heap_pops.incr();
             let tag = ranked.tag;
             let st = &mut self.tasks[tag.task.index()];
             if !st.active || st.next_index != tag.index {
+                self.metrics.stale_skipped.incr();
                 continue; // stale
             }
             // Deadline-miss detection: scheduling in a slot at or past the
@@ -879,8 +933,7 @@ mod tests {
         let set = ts(&[(8, 11)]);
         let mut delays = MapDelays::new();
         delays.insert(TaskId(0), 5, 1);
-        let mut sched =
-            PfairScheduler::with_delays(&set, SchedConfig::pd2(1), delays);
+        let mut sched = PfairScheduler::with_delays(&set, SchedConfig::pd2(1), delays);
         sched.run(30);
         assert!(sched.misses().is_empty());
         // Alone on one processor, each subtask runs exactly at its
@@ -896,7 +949,16 @@ mod tests {
     fn epdf_misses_where_pd2_does_not() {
         // A known EPDF-hard pattern: many heavy tasks at full utilization
         // on ≥ 3 processors.
-        let set = ts(&[(2, 3), (2, 3), (2, 3), (2, 3), (2, 3), (2, 3), (1, 1), (1, 1)]);
+        let set = ts(&[
+            (2, 3),
+            (2, 3),
+            (2, 3),
+            (2, 3),
+            (2, 3),
+            (2, 3),
+            (1, 1),
+            (1, 1),
+        ]);
         // Σ = 6·(2/3) + 2 = 6 on M = 6.
         assert_eq!(set.total_utilization(), Rat::from(6u64));
         let horizon = 3 * set.hyperperiod();
@@ -908,8 +970,7 @@ mod tests {
         // ablation lives in the sim crate's optimality tests. Here we only
         // assert PD2's correctness and that EPDF produces a valid schedule
         // shape.)
-        let mut epdf =
-            PfairScheduler::new(&set, SchedConfig::pd2(6).with_policy(Policy::Epdf));
+        let mut epdf = PfairScheduler::new(&set, SchedConfig::pd2(6).with_policy(Policy::Epdf));
         let s = epdf.run(horizon);
         for slot in &s {
             assert!(slot.len() <= 6);
@@ -949,7 +1010,9 @@ mod tests {
             sched.tick(t, &mut out);
         }
         assert_eq!(sched.earliest_leave(TaskId(1)), Some(8));
-        let new_id = sched.reweight(TaskId(1), Task::new(1, 8).unwrap(), 8).unwrap();
+        let new_id = sched
+            .reweight(TaskId(1), Task::new(1, 8).unwrap(), 8)
+            .unwrap();
         assert!(sched.is_active(new_id));
         assert!(!sched.is_active(TaskId(1)));
         for t in 8..40 {

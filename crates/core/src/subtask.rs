@@ -317,11 +317,10 @@ mod tests {
     }
 
     fn arb_weight() -> impl Strategy<Value = Weight> {
-        (1u64..200, 1u64..200)
-            .prop_filter_map("e<=p", |(a, b)| {
-                let (e, p) = if a <= b { (a, b) } else { (b, a) };
-                Weight::new(e, p).ok()
-            })
+        (1u64..200, 1u64..200).prop_filter_map("e<=p", |(a, b)| {
+            let (e, p) = if a <= b { (a, b) } else { (b, a) };
+            Weight::new(e, p).ok()
+        })
     }
 
     fn arb_heavy_weight() -> impl Strategy<Value = Weight> {

@@ -353,7 +353,10 @@ mod tests {
                 .with_policy(Policy::Pd2)
                 .with_higher_id_first(higher_id_first);
             let run = run_with_supertask(&fig5_normal_tasks(), fig5_supertask(), cfg, 45, false);
-            assert_eq!(run.pfair_misses, 0, "the supertask itself is Pfair-feasible");
+            assert_eq!(
+                run.pfair_misses, 0,
+                "the supertask itself is Pfair-feasible"
+            );
             let misses = run.supertask.misses();
             assert!(
                 !misses.is_empty(),
@@ -375,13 +378,8 @@ mod tests {
         // 163/90 ≤ 2, still feasible.
         for higher_id_first in [false, true] {
             let cfg = SchedConfig::pd2(2).with_higher_id_first(higher_id_first);
-            let run = run_with_supertask(
-                &fig5_normal_tasks(),
-                fig5_supertask(),
-                cfg,
-                10 * 45,
-                true,
-            );
+            let run =
+                run_with_supertask(&fig5_normal_tasks(), fig5_supertask(), cfg, 10 * 45, true);
             assert_eq!(run.pfair_misses, 0);
             assert!(
                 run.supertask.misses().is_empty(),

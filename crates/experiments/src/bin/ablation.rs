@@ -49,7 +49,13 @@ fn main() {
     let seed: u64 = args.get_or("seed", 7);
 
     eprintln!("ablation: {sets} full-utilization heavy task sets per M");
-    let mut table = Table::new(&["M", "policy", "sets w/ misses", "total misses", "max tardiness"]);
+    let mut table = Table::new(&[
+        "M",
+        "policy",
+        "sets w/ misses",
+        "total misses",
+        "max tardiness",
+    ]);
     for m in [2u32, 3, 4, 6, 8] {
         for pol in Policy::ALL {
             let mut rng = StdRng::seed_from_u64(seed);

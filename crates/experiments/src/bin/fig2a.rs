@@ -2,11 +2,11 @@
 //! processor, as a function of task count.
 //!
 //! ```text
-//! cargo run --release -p experiments --bin fig2a -- [--sets 100] [--horizon 1000000] [--seed 1] [--csv]
+//! cargo run --release -p experiments --bin fig2a -- [--sets 100] [--horizon 1000000] [--seed 1] [--csv] [--metrics-out m.json]
 //! ```
 
-use experiments::fig2::{measure_edf, measure_pd2, PAPER_TASK_COUNTS};
-use experiments::Args;
+use experiments::fig2::{measure_edf_observed, measure_pd2_observed, PAPER_TASK_COUNTS};
+use experiments::{recorder, write_metrics, Args};
 use stats::{ci99_halfwidth, Table};
 
 fn main() {
@@ -15,14 +15,17 @@ fn main() {
     let horizon_us: u64 = args.get_or("horizon", 1_000_000);
     let horizon_slots: u64 = args.get_or("slots", 20_000);
     let seed: u64 = args.get_or("seed", 1);
+    let rec = recorder(&args);
+    let point_ns = rec.timer("fig2a.point_ns");
 
     eprintln!(
         "fig2a: {sets} sets per N, EDF horizon {horizon_us}µs, PD2 horizon {horizon_slots} slots"
     );
     let mut table = Table::new(&["N", "EDF (µs)", "±99%", "PD2 (µs)", "±99%"]);
     for &n in &PAPER_TASK_COUNTS {
-        let edf = measure_edf(n, sets, horizon_us, seed);
-        let pd2 = measure_pd2(n, 1, sets, horizon_slots, seed);
+        let _point = point_ns.start();
+        let edf = measure_edf_observed(n, sets, horizon_us, seed, &rec);
+        let pd2 = measure_pd2_observed(n, 1, sets, horizon_slots, seed, &rec);
         table.row_owned(vec![
             n.to_string(),
             format!("{:.3}", edf.mean()),
@@ -37,4 +40,5 @@ fn main() {
     } else {
         print!("{}", table.render());
     }
+    write_metrics(&args, &rec);
 }

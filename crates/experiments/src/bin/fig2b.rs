@@ -2,11 +2,11 @@
 //! processors, as a function of task count.
 //!
 //! ```text
-//! cargo run --release -p experiments --bin fig2b -- [--sets 50] [--slots 20000] [--seed 1] [--csv]
+//! cargo run --release -p experiments --bin fig2b -- [--sets 50] [--slots 20000] [--seed 1] [--csv] [--metrics-out m.json]
 //! ```
 
-use experiments::fig2::{measure_pd2, PAPER_PROC_COUNTS, PAPER_TASK_COUNTS};
-use experiments::Args;
+use experiments::fig2::{measure_pd2_observed, PAPER_PROC_COUNTS, PAPER_TASK_COUNTS};
+use experiments::{recorder, write_metrics, Args};
 use stats::{ci99_halfwidth, Table};
 
 fn main() {
@@ -14,6 +14,8 @@ fn main() {
     let sets: usize = args.get_or("sets", 50);
     let horizon_slots: u64 = args.get_or("slots", 20_000);
     let seed: u64 = args.get_or("seed", 1);
+    let rec = recorder(&args);
+    let point_ns = rec.timer("fig2b.point_ns");
 
     eprintln!("fig2b: {sets} sets per point, {horizon_slots} slots each");
     let mut headers = vec!["N".to_string()];
@@ -27,7 +29,8 @@ fn main() {
     for &n in &PAPER_TASK_COUNTS {
         let mut row = vec![n.to_string()];
         for &m in &PAPER_PROC_COUNTS {
-            let w = measure_pd2(n, m, sets, horizon_slots, seed);
+            let _point = point_ns.start();
+            let w = measure_pd2_observed(n, m, sets, horizon_slots, seed, &rec);
             row.push(format!("{:.3}", w.mean()));
             row.push(format!("{:.3}", ci99_halfwidth(&w)));
         }
@@ -39,4 +42,5 @@ fn main() {
     } else {
         print!("{}", table.render());
     }
+    write_metrics(&args, &rec);
 }

@@ -2,16 +2,43 @@
 //! utilization grows, with Equation (3) overhead inflation.
 //!
 //! ```text
-//! cargo run --release -p experiments --bin fig3 -- [--tasks 50] [--sets 200] [--points 15] [--seed 1] [--csv]
+//! cargo run --release -p experiments --bin fig3 -- [--tasks 50] [--sets 200] [--points 15] [--seed 1] [--csv] [--metrics-out m.json]
 //! ```
 //!
 //! The paper's Fig. 3 panels are `--tasks 50 | 100 | 250 | 500`.
+//!
+//! With `--metrics-out`, the exported JSON carries the sweep telemetry
+//! (per-point wall time, sets/sec, worker utilization, partition probe
+//! counts) plus scheduler-tick and dispatch counters from a short PD²
+//! simulation of one sampled task set per point, which cross-checks the
+//! analytic processor count against an actual miss-free schedule.
 
-use experiments::fig34::{paper_utilization_sweep, run_point};
-use experiments::Args;
+use experiments::fig34::{paper_utilization_sweep, run_point_observed};
+use experiments::{recorder, write_metrics, Args};
 use overhead::OverheadParams;
+use pfair_core::sched::SchedConfig;
+use sched_sim::MultiSim;
 use stats::{ci99_halfwidth, Table};
-use workload::CacheDelayDist;
+use workload::{CacheDelayDist, TaskSetGenerator};
+
+/// Simulates one sampled task set per point under PD² dispatch for a few
+/// hundred quanta, feeding `rec` with `sched.*`/`sim.*` counters.
+fn simulate_sample(n: usize, total_util: f64, seed: u64, rec: &obs::Recorder) {
+    let _span = rec.timer("fig3.sample_sim_ns").start();
+    let mut gen = TaskSetGenerator::new(n, total_util, seed);
+    let phys = gen.generate();
+    let Ok(tasks) = phys.to_quantum_tasks(1_000) else {
+        rec.counter("fig3.sample_sim_skipped").incr();
+        return;
+    };
+    let m = tasks.min_processors();
+    let mut sim = MultiSim::new(&tasks, SchedConfig::pd2(m));
+    sim.set_recorder(rec);
+    let metrics = sim.run(500);
+    if metrics.misses > 0 {
+        rec.counter("fig3.sample_sim_misses").add(metrics.misses);
+    }
+}
 
 fn main() {
     let args = Args::parse();
@@ -21,11 +48,15 @@ fn main() {
     let seed: u64 = args.get_or("seed", 1);
     let params = OverheadParams::paper2003();
     let dist = CacheDelayDist::paper2003();
+    let rec = recorder(&args);
 
     eprintln!("fig3: N={n}, {sets} sets per point, {points} utilization points");
     let mut table = Table::new(&["U", "PD2 procs", "±99%", "EDF-FF procs", "±99%"]);
     for u in paper_utilization_sweep(n, points) {
-        let p = run_point(n, u, sets, seed, &params, dist);
+        let p = run_point_observed(n, u, sets, seed, &params, dist, &rec);
+        if rec.is_enabled() {
+            simulate_sample(n, u, seed, &rec);
+        }
         table.row_owned(vec![
             format!("{u:.2}"),
             format!("{:.2}", p.pd2_procs.mean()),
@@ -46,4 +77,5 @@ fn main() {
     } else {
         print!("{}", table.render());
     }
+    write_metrics(&args, &rec);
 }

@@ -3,14 +3,14 @@
 //! mean task utilization grows.
 //!
 //! ```text
-//! cargo run --release -p experiments --bin fig4 -- [--tasks 50] [--sets 200] [--points 15] [--seed 1] [--csv]
+//! cargo run --release -p experiments --bin fig4 -- [--tasks 50] [--sets 200] [--points 15] [--seed 1] [--csv] [--metrics-out m.json]
 //! ```
 //!
 //! The paper's panels are `--tasks 50` and `--tasks 100`; the x-axis is
 //! mean task utilization `U/N ∈ [1/30, 1/3]`.
 
-use experiments::fig34::{paper_utilization_sweep, run_point};
-use experiments::Args;
+use experiments::fig34::{paper_utilization_sweep, run_point_observed};
+use experiments::{recorder, write_metrics, Args};
 use overhead::OverheadParams;
 use stats::{ci99_halfwidth, Table};
 use workload::CacheDelayDist;
@@ -23,6 +23,7 @@ fn main() {
     let seed: u64 = args.get_or("seed", 1);
     let params = OverheadParams::paper2003();
     let dist = CacheDelayDist::paper2003();
+    let rec = recorder(&args);
 
     eprintln!("fig4: N={n}, {sets} sets per point");
     let mut table = Table::new(&[
@@ -35,7 +36,7 @@ fn main() {
         "±99%",
     ]);
     for u in paper_utilization_sweep(n, points) {
-        let p = run_point(n, u, sets, seed, &params, dist);
+        let p = run_point_observed(n, u, sets, seed, &params, dist, &rec);
         table.row_owned(vec![
             format!("{:.4}", u / n as f64),
             format!("{:.4}", p.pfair_loss.mean()),
@@ -58,4 +59,5 @@ fn main() {
     } else {
         print!("{}", table.render());
     }
+    write_metrics(&args, &rec);
 }

@@ -2,9 +2,10 @@
 //! plus the Holman–Anderson reweighted re-run that fixes it.
 //!
 //! ```text
-//! cargo run --release -p experiments --bin fig5
+//! cargo run --release -p experiments --bin fig5 -- [--metrics-out m.json]
 //! ```
 
+use experiments::{recorder, write_metrics, Args};
 use pfair_core::sched::SchedConfig;
 use pfair_core::supertask::{run_with_supertask, Component, Supertask};
 use pfair_model::TaskSet;
@@ -32,6 +33,9 @@ fn render(schedule: &[Vec<pfair_model::TaskId>], horizon: usize) {
 }
 
 fn main() {
+    let args = Args::parse();
+    let rec = recorder(&args);
+    let run_ns = rec.timer("fig5.run_ns");
     let normal = TaskSet::from_pairs([(1u64, 2u64), (1, 3), (1, 3), (2, 9)]).unwrap();
     let supertask = || {
         Supertask::new(vec![
@@ -46,7 +50,11 @@ fn main() {
     // The paper's figure corresponds to the higher-id-first resolution of
     // the genuinely arbitrary priority ties between S and Y (equal weight).
     let cfg = SchedConfig::pd2(2).with_higher_id_first(true);
+    let span = run_ns.start();
     let run = run_with_supertask(&normal, supertask(), cfg, 45, false);
+    drop(span);
+    rec.counter("fig5.naive_misses")
+        .add(run.supertask.misses().len() as u64);
     println!("Naive cumulative weight (2/9):");
     render(&run.schedule, 45);
     for m in run.supertask.misses() {
@@ -58,7 +66,11 @@ fn main() {
     );
 
     println!("\nReweighted (2/9 + 1/p_min = 19/45, Holman–Anderson [16]):");
+    let span = run_ns.start();
     let run = run_with_supertask(&normal, supertask(), cfg, 45, true);
+    drop(span);
+    rec.counter("fig5.reweighted_misses")
+        .add(run.supertask.misses().len() as u64);
     render(&run.schedule, 45);
     if run.supertask.misses().is_empty() {
         println!("  no component deadline misses — reweighting is sufficient");
@@ -67,4 +79,5 @@ fn main() {
             println!("  !! {m}");
         }
     }
+    write_metrics(&args, &rec);
 }

@@ -24,7 +24,14 @@ fn main() {
     let seed: u64 = args.get_or("seed", 1);
 
     eprintln!("rmff: M={m}, N={n}, {sets} sets per point");
-    let mut table = Table::new(&["U/M", "RM-FF (LL)", "RM-FF (exact)", "EDF-FF", "EDF-FFD", "PD2"]);
+    let mut table = Table::new(&[
+        "U/M",
+        "RM-FF (LL)",
+        "RM-FF (exact)",
+        "EDF-FF",
+        "EDF-FFD",
+        "PD2",
+    ]);
     for step in 3..=10 {
         let frac = step as f64 / 10.0;
         let total = frac * m as f64;
@@ -32,8 +39,7 @@ fn main() {
         for s in 0..sets {
             let mut gen = TaskSetGenerator::new(n, total, seed ^ ((s as u64) << 16));
             let set = gen.generate();
-            let pairs: Vec<(u64, u64)> =
-                set.iter().map(|t| (t.wcet_us, t.period_us)).collect();
+            let pairs: Vec<(u64, u64)> = set.iter().map(|t| (t.wcet_us, t.period_us)).collect();
             let keys = |i: usize| {
                 let (e, p) = pairs[i];
                 (e as f64 / p as f64, p)

@@ -49,8 +49,7 @@ fn main() {
         for s in 0..sets {
             let mut gen = TaskSetGenerator::new(n, mean_util * n as f64, seed ^ ((s as u64) << 9));
             let phys = gen.generate();
-            let pairs: Vec<(u64, u64)> =
-                phys.iter().map(|t| (t.wcet_us, t.period_us)).collect();
+            let pairs: Vec<(u64, u64)> = phys.iter().map(|t| (t.wcet_us, t.period_us)).collect();
 
             // --- EDF-FF ---
             let acc = EdfUtilization::new(&pairs);
@@ -85,9 +84,7 @@ fn main() {
                 pd2_mig.push(metrics.migrations as f64 / jobs as f64);
                 let b: u64 = tasks
                     .iter()
-                    .map(|(_, t)| {
-                        slots.div_ceil(t.period) * (t.exec - 1).min(t.period - t.exec)
-                    })
+                    .map(|(_, t)| slots.div_ceil(t.period) * (t.exec - 1).min(t.period - t.exec))
                     .sum();
                 bound.push(b as f64 / jobs as f64);
             }

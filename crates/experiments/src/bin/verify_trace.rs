@@ -15,10 +15,9 @@ use sched_sim::ScheduleTrace;
 fn main() {
     let args = Args::parse();
     let path = args.get("input").expect("--input <trace.json> required");
-    let json = std::fs::read_to_string(path)
-        .unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
-    let trace = ScheduleTrace::from_json(&json)
-        .unwrap_or_else(|e| panic!("cannot parse {path}: {e}"));
+    let json = std::fs::read_to_string(path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
+    let trace =
+        ScheduleTrace::from_json(&json).unwrap_or_else(|e| panic!("cannot parse {path}: {e}"));
 
     println!(
         "{path}: {} tasks, M = {}, {} slots, {} misses recorded",

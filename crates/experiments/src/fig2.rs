@@ -27,8 +27,21 @@ pub const PAPER_PROC_COUNTS: [u32; 4] = [2, 4, 8, 16];
 /// processor: `sets` random task sets of `n` tasks with total utilization
 /// just under 1, each simulated for `horizon_us`.
 pub fn measure_edf(n: usize, sets: usize, horizon_us: u64, seed: u64) -> Welford {
+    measure_edf_observed(n, sets, horizon_us, seed, &obs::Recorder::disabled())
+}
+
+/// [`measure_edf`] with per-set wall-time telemetry in `rec`.
+pub fn measure_edf_observed(
+    n: usize,
+    sets: usize,
+    horizon_us: u64,
+    seed: u64,
+    rec: &obs::Recorder,
+) -> Welford {
+    let set_ns = rec.timer("fig2.edf_set_ns");
     let mut acc = Welford::new();
     for s in 0..sets {
+        let _span = set_ns.start();
         let mut gen = TaskSetGenerator::new(n, 0.9_f64.min(n as f64), seed ^ (s as u64) << 17);
         let set = gen.generate();
         let pairs: Vec<(u64, u64)> = set.iter().map(|t| (t.wcet_us, t.period_us)).collect();
@@ -74,11 +87,29 @@ fn pd2_workload(n: usize, m: u32, seed: u64) -> pfair_model::TaskSet {
 /// scheduler on `m` processors: `sets` random task sets of `n` tasks with
 /// total weight ≈ 0.9·min(n, m), simulated for `horizon_slots` quanta.
 pub fn measure_pd2(n: usize, m: u32, sets: usize, horizon_slots: u64, seed: u64) -> Welford {
+    measure_pd2_observed(n, m, sets, horizon_slots, seed, &obs::Recorder::disabled())
+}
+
+/// [`measure_pd2`] with telemetry in `rec`: per-set wall time plus the
+/// scheduler's own tick counters. Note that an *enabled* recorder adds
+/// per-tick clock reads inside the timed loop and therefore inflates the
+/// reported per-invocation cost — enable it for event counts, not for the
+/// paper-comparison numbers.
+pub fn measure_pd2_observed(
+    n: usize,
+    m: u32,
+    sets: usize,
+    horizon_slots: u64,
+    seed: u64,
+    rec: &obs::Recorder,
+) -> Welford {
+    let set_ns = rec.timer("fig2.pd2_set_ns");
     let mut acc = Welford::new();
     for s in 0..sets {
+        let _span = set_ns.start();
         let tasks = pd2_workload(n, m, seed ^ ((s as u64) << 17));
         debug_assert!(tasks.feasible_on(m));
-        let mut sched = PfairScheduler::new(&tasks, SchedConfig::pd2(m));
+        let mut sched = PfairScheduler::new(&tasks, SchedConfig::pd2(m)).with_recorder(rec);
         let mut out = Vec::with_capacity(m as usize);
         let start = Instant::now();
         for t in 0..horizon_slots {

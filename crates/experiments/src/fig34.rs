@@ -23,7 +23,7 @@
 //!   starts-near-zero-and-grows shape.
 
 use overhead::{pd2_processors_required, InflateError, OverheadParams};
-use partition::{partition_unbounded, Acceptance, EdfOverheadAware, Heuristic, SortOrder};
+use partition::{partition_unbounded_observed, Acceptance, EdfOverheadAware, Heuristic, SortOrder};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use stats::Welford;
@@ -76,35 +76,80 @@ pub fn run_point(
     params: &OverheadParams,
     dist: CacheDelayDist,
 ) -> SchedPoint {
+    run_point_observed(
+        n,
+        total_util,
+        sets,
+        seed,
+        params,
+        dist,
+        &obs::Recorder::disabled(),
+    )
+}
+
+/// [`run_point`] with instrumentation: per-set wall time, busy time per
+/// worker (for utilization), and PD²/EDF failure counters land in `rec`.
+pub fn run_point_observed(
+    n: usize,
+    total_util: f64,
+    sets: usize,
+    seed: u64,
+    params: &OverheadParams,
+    dist: CacheDelayDist,
+    rec: &obs::Recorder,
+) -> SchedPoint {
     let workers = std::thread::available_parallelism()
         .map(|p| p.get())
         .unwrap_or(1)
         .min(sets.max(1));
-    let merged = parking_lot::Mutex::new(SchedPoint {
+    let point_started = std::time::Instant::now();
+    let point_ns = rec.timer("fig34.point_ns");
+    let set_ns = rec.timer("fig34.set_ns");
+    let busy_before_ns = set_ns.total_ns();
+    let sets_done = rec.counter("fig34.sets");
+    let pd2_failures = rec.counter("fig34.pd2_failures");
+    let edf_failures = rec.counter("fig34.edf_failures");
+    let merged = std::sync::Mutex::new(SchedPoint {
         total_util,
         ..SchedPoint::default()
     });
     let next = std::sync::atomic::AtomicUsize::new(0);
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..workers {
-            scope.spawn(|_| {
+            scope.spawn(|| {
                 let mut local = SchedPoint::default();
                 loop {
                     let s = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                     if s >= sets {
                         break;
                     }
-                    run_one_set(n, total_util, s, seed, params, dist, &mut local);
+                    let _span = set_ns.start();
+                    run_one_set(n, total_util, s, seed, params, dist, rec, &mut local);
+                    sets_done.incr();
                 }
-                merged.lock().merge(&local);
+                pd2_failures.add(local.pd2_failures as u64);
+                edf_failures.add(local.edf_failures as u64);
+                merged
+                    .lock()
+                    .expect("worker threads do not panic")
+                    .merge(&local);
             });
         }
-    })
-    .expect("worker threads do not panic");
-    merged.into_inner()
+    });
+    // Point-level derived telemetry: wall time, throughput, and how busy
+    // the worker pool was (summed per-set busy time over wall × workers).
+    let wall_ns = point_started.elapsed().as_nanos().max(1) as u64;
+    point_ns.record_ns(wall_ns);
+    let busy_ns = set_ns.total_ns() - busy_before_ns;
+    rec.histogram("fig34.sets_per_sec", &[1, 10, 100, 1_000, 10_000, 100_000])
+        .record((sets as f64 / (wall_ns as f64 * 1e-9)) as u64);
+    rec.histogram("fig34.worker_util_pct", &[10, 25, 50, 75, 90, 100])
+        .record((100.0 * busy_ns as f64 / (wall_ns as f64 * workers as f64)).min(100.0) as u64);
+    merged.into_inner().expect("worker threads do not panic")
 }
 
 /// Processes a single random task set into `point`.
+#[allow(clippy::too_many_arguments)]
 fn run_one_set(
     n: usize,
     total_util: f64,
@@ -112,12 +157,12 @@ fn run_one_set(
     seed: u64,
     params: &OverheadParams,
     dist: CacheDelayDist,
+    rec: &obs::Recorder,
     point: &mut SchedPoint,
 ) {
     // Per-set RNG so results are independent of thread scheduling.
-    let mut rng = StdRng::seed_from_u64(
-        seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ ((s as u64) << 20),
-    );
+    let mut rng =
+        StdRng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ ((s as u64) << 20));
     {
         let mut gen = TaskSetGenerator::new(n, total_util, seed ^ ((s as u64) << 20));
         let set = gen.generate();
@@ -130,29 +175,39 @@ fn run_one_set(
             Ok(m_pd2) => {
                 let mut u_infl = 0.0;
                 for (t, &dd) in tasks.iter().zip(&d) {
-                    let inf = overhead::inflate_pd2(*t, params, m_pd2, n, dd)
-                        .expect("feasible at m_pd2");
+                    let inf =
+                        overhead::inflate_pd2(*t, params, m_pd2, n, dd).expect("feasible at m_pd2");
                     u_infl += inf.weight.to_f64();
                 }
                 point.pd2_procs.push(m_pd2 as f64);
                 point.pfair_loss.push((u_infl - u_raw) / m_pd2 as f64);
             }
+            // Any inflation failure (Overload or an unexpected variant) is
+            // recorded and the sweep continues: one pathological set must
+            // not kill a multi-hour experiment run.
             Err(InflateError::Overload { .. }) => point.pd2_failures += 1,
-            Err(e) => panic!("unexpected PD2 inflation failure: {e}"),
+            Err(e) => {
+                eprintln!("fig34: PD2 inflation failed for set: {e}");
+                point.pd2_failures += 1;
+            }
         }
 
         // --- EDF-FF (decreasing periods, overhead-aware) ---
         let acc = EdfOverheadAware::new(&tasks, &d, *params);
         let keys = |i: usize| (tasks[i].utilization(), tasks[i].period_us);
-        match partition_unbounded(n, &acc, Heuristic::FirstFit, SortOrder::DecreasingPeriod, keys)
-        {
+        match partition_unbounded_observed(
+            n,
+            &acc,
+            Heuristic::FirstFit,
+            SortOrder::DecreasingPeriod,
+            keys,
+            rec,
+        ) {
             Some(result) => {
                 let m_edf = result.processors;
                 // Replay in packing order to recover the inflated total.
                 let mut order: Vec<usize> = (0..n).collect();
-                order.sort_by(|&a, &b| {
-                    tasks[b].period_us.cmp(&tasks[a].period_us).then(a.cmp(&b))
-                });
+                order.sort_by(|&a, &b| tasks[b].period_us.cmp(&tasks[a].period_us).then(a.cmp(&b)));
                 let mut states = vec![acc.empty(); m_edf as usize];
                 for i in order {
                     let p = result.assignment[i] as usize;

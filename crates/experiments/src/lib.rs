@@ -23,6 +23,8 @@
 pub mod args;
 pub mod fig2;
 pub mod fig34;
+pub mod metrics;
 pub mod quantum;
 
 pub use args::Args;
+pub use metrics::{recorder, write_metrics};

@@ -100,6 +100,9 @@ mod tests {
         };
         let mid = by_q(1_000);
         assert!(mid <= by_q(100) + 1e-9, "tiny quantum should not beat 1ms");
-        assert!(mid <= by_q(10_000) + 1e-9, "huge quantum should not beat 1ms");
+        assert!(
+            mid <= by_q(10_000) + 1e-9,
+            "huge quantum should not beat 1ms"
+        );
     }
 }

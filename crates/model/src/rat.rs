@@ -53,7 +53,11 @@ impl Rat {
     /// Panics if `den == 0`.
     pub fn new(num: i128, den: i128) -> Self {
         assert!(den != 0, "Rat with zero denominator");
-        let sign = if (num < 0) != (den < 0) && num != 0 { -1 } else { 1 };
+        let sign = if (num < 0) != (den < 0) && num != 0 {
+            -1
+        } else {
+            1
+        };
         let (num, den) = (num.unsigned_abs(), den.unsigned_abs());
         let g = gcd(num as i128, den as i128).max(1);
         Rat {

@@ -30,5 +30,5 @@
 pub mod inflate;
 pub mod model;
 
-pub use inflate::{inflate_edf, inflate_pd2, pd2_processors_required, InflatedPd2, InflateError};
+pub use inflate::{inflate_edf, inflate_pd2, pd2_processors_required, InflateError, InflatedPd2};
 pub use model::{OverheadParams, SchedCostModel};

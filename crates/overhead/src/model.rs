@@ -61,8 +61,7 @@ impl SchedCostModel {
     pub fn fit(edf: &[(usize, f64)], pd2: &[(u32, usize, f64)]) -> Self {
         assert!(edf.len() >= 2, "need ≥ 2 EDF samples");
         assert!(pd2.len() >= 3, "need ≥ 3 PD2 samples");
-        let (edf_base_us, edf_per_task_us) =
-            fit_line(edf.iter().map(|&(n, y)| (n as f64, y)));
+        let (edf_base_us, edf_per_task_us) = fit_line(edf.iter().map(|&(n, y)| (n as f64, y)));
         let (pd2_base_us, pd2_per_task_us, pd2_per_task_proc_us) = fit_plane(
             pd2.iter()
                 .map(|&(m, n, y)| (n as f64, (m.min(16) as f64) * n as f64, y)),
@@ -243,10 +242,11 @@ mod tests {
             .iter()
             .map(|&n| (n, truth.edf_us(n)))
             .collect();
-        let pd2: Vec<(u32, usize, f64)> = [(1u32, 50usize), (2, 250), (4, 100), (8, 500), (16, 1000)]
-            .iter()
-            .map(|&(m, n)| (m, n, truth.pd2_us(m, n)))
-            .collect();
+        let pd2: Vec<(u32, usize, f64)> =
+            [(1u32, 50usize), (2, 250), (4, 100), (8, 500), (16, 1000)]
+                .iter()
+                .map(|&(m, n)| (m, n, truth.pd2_us(m, n)))
+                .collect();
         let fitted = SchedCostModel::fit(&edf, &pd2);
         for n in [30usize, 100, 750] {
             assert!((fitted.edf_us(n) - truth.edf_us(n)).abs() < 1e-9);

@@ -60,17 +60,10 @@ mod tests {
         let tasks: Vec<(u64, u64)> = vec![(51, 100); m as usize + 1];
         let acc = EdfUtilization::new(&tasks);
         for h in Heuristic::ALL {
-            let r = partition(
-                tasks.len(),
-                &acc,
-                h,
-                SortOrder::None,
-                m,
-                |i| {
-                    let (e, p) = tasks[i];
-                    (e as f64 / p as f64, p)
-                },
-            );
+            let r = partition(tasks.len(), &acc, h, SortOrder::None, m, |i| {
+                let (e, p) = tasks[i];
+                (e as f64 / p as f64, p)
+            });
             assert!(r.is_none(), "{} must fail", h.name());
         }
         // Total utilization 5·0.51 = 2.55 ≈ (M+1)/2 = 2.5: Pfair feasibility

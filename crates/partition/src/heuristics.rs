@@ -124,6 +124,41 @@ pub fn partition<A: Acceptance>(
     max_procs: u32,
     keys: impl Fn(usize) -> (f64, u64),
 ) -> Option<PartitionResult> {
+    partition_observed(
+        n,
+        acc,
+        heuristic,
+        order,
+        max_procs,
+        keys,
+        &obs::Recorder::disabled(),
+    )
+}
+
+/// [`partition`] with instrumentation: the number of bins probed for a
+/// placement ("partition.bins_probed"), acceptance-test evaluations
+/// ("partition.accept_evals"), and bins opened ("partition.bins_opened")
+/// land in `rec`.
+#[allow(clippy::too_many_arguments)]
+pub fn partition_observed<A: Acceptance>(
+    n: usize,
+    acc: &A,
+    heuristic: Heuristic,
+    order: SortOrder,
+    max_procs: u32,
+    keys: impl Fn(usize) -> (f64, u64),
+    rec: &obs::Recorder,
+) -> Option<PartitionResult> {
+    let bins_probed = rec.counter("partition.bins_probed");
+    let accept_evals = rec.counter("partition.accept_evals");
+    let bins_opened = rec.counter("partition.bins_opened");
+    // Counted try_add: every acceptance evaluation probes one bin.
+    let probe = |state: &A::ProcState, task: usize| {
+        bins_probed.incr();
+        accept_evals.incr();
+        acc.try_add(state, task)
+    };
+
     let idx = ordered_indices(n, order, keys);
     let mut states: Vec<A::ProcState> = Vec::new();
     let mut assignment = vec![u32::MAX; n];
@@ -131,11 +166,11 @@ pub fn partition<A: Acceptance>(
 
     for &task in &idx {
         let chosen: Option<usize> = match heuristic {
-            Heuristic::FirstFit => (0..states.len()).find(|&p| acc.try_add(&states[p], task).is_some()),
+            Heuristic::FirstFit => (0..states.len()).find(|&p| probe(&states[p], task).is_some()),
             Heuristic::BestFit | Heuristic::WorstFit => {
                 let mut best: Option<(usize, f64)> = None;
                 for (p, state) in states.iter().enumerate() {
-                    if let Some(next) = acc.try_add(state, task) {
+                    if let Some(next) = probe(state, task) {
                         let spare = acc.spare(&next);
                         let better = match best {
                             None => true,
@@ -152,11 +187,12 @@ pub fn partition<A: Acceptance>(
                 best.map(|(p, _)| p)
             }
             Heuristic::NextFit => (next_fit_cursor < states.len()
-                && acc.try_add(&states[next_fit_cursor], task).is_some())
+                && probe(&states[next_fit_cursor], task).is_some())
             .then_some(next_fit_cursor),
         };
         match chosen {
             Some(p) => {
+                accept_evals.incr();
                 states[p] = acc.try_add(&states[p], task).expect("re-check");
                 assignment[task] = p as u32;
             }
@@ -165,7 +201,9 @@ pub fn partition<A: Acceptance>(
                 if states.len() as u32 >= max_procs {
                     return None;
                 }
+                accept_evals.incr();
                 let fresh = acc.try_add(&acc.empty(), task)?;
+                bins_opened.incr();
                 states.push(fresh);
                 assignment[task] = (states.len() - 1) as u32;
                 next_fit_cursor = states.len() - 1;
@@ -191,6 +229,19 @@ pub fn partition_unbounded<A: Acceptance>(
     partition(n, acc, heuristic, order, u32::MAX, keys)
 }
 
+/// [`partition_unbounded`] with instrumentation (see
+/// [`partition_observed`]).
+pub fn partition_unbounded_observed<A: Acceptance>(
+    n: usize,
+    acc: &A,
+    heuristic: Heuristic,
+    order: SortOrder,
+    keys: impl Fn(usize) -> (f64, u64),
+    rec: &obs::Recorder,
+) -> Option<PartitionResult> {
+    partition_observed(n, acc, heuristic, order, u32::MAX, keys, rec)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -210,8 +261,14 @@ mod tests {
         // (the paper's Section-1 example) — 3 processors, vs 2 for PD².
         let tasks = [(2u64, 3u64), (2, 3), (2, 3)];
         let acc = EdfUtilization::new(&tasks);
-        let r = partition_unbounded(3, &acc, Heuristic::FirstFit, SortOrder::None, keys_for(&tasks))
-            .unwrap();
+        let r = partition_unbounded(
+            3,
+            &acc,
+            Heuristic::FirstFit,
+            SortOrder::None,
+            keys_for(&tasks),
+        )
+        .unwrap();
         assert_eq!(r.processors, 3);
         assert_eq!(r.assignment, vec![0, 1, 2]);
     }
@@ -220,8 +277,14 @@ mod tests {
     fn first_fit_reuses_processors() {
         let tasks = [(1u64, 2u64), (1, 3), (1, 2), (1, 3)];
         let acc = EdfUtilization::new(&tasks);
-        let r = partition_unbounded(4, &acc, Heuristic::FirstFit, SortOrder::None, keys_for(&tasks))
-            .unwrap();
+        let r = partition_unbounded(
+            4,
+            &acc,
+            Heuristic::FirstFit,
+            SortOrder::None,
+            keys_for(&tasks),
+        )
+        .unwrap();
         // 1/2+1/3 fits; next 1/2 opens proc 1; next 1/3 joins proc 1.
         assert_eq!(r.processors, 2);
         assert_eq!(r.assignment, vec![0, 0, 1, 1]);
@@ -234,15 +297,33 @@ mod tests {
         // picks the 0.75 bin (leaves 0), FF picks the 0.5 bin.
         let tasks = [(1u64, 2u64), (3, 4), (1, 4), (1, 4)];
         let acc = EdfUtilization::new(&tasks);
-        let ff = partition_unbounded(4, &acc, Heuristic::FirstFit, SortOrder::None, keys_for(&tasks))
-            .unwrap();
+        let ff = partition_unbounded(
+            4,
+            &acc,
+            Heuristic::FirstFit,
+            SortOrder::None,
+            keys_for(&tasks),
+        )
+        .unwrap();
         assert_eq!(ff.assignment[2], 0);
-        let bf = partition_unbounded(4, &acc, Heuristic::BestFit, SortOrder::None, keys_for(&tasks))
-            .unwrap();
+        let bf = partition_unbounded(
+            4,
+            &acc,
+            Heuristic::BestFit,
+            SortOrder::None,
+            keys_for(&tasks),
+        )
+        .unwrap();
         assert_eq!(bf.assignment[2], 1, "BF fills the fuller bin");
         // WF spreads.
-        let wf = partition_unbounded(4, &acc, Heuristic::WorstFit, SortOrder::None, keys_for(&tasks))
-            .unwrap();
+        let wf = partition_unbounded(
+            4,
+            &acc,
+            Heuristic::WorstFit,
+            SortOrder::None,
+            keys_for(&tasks),
+        )
+        .unwrap();
         assert_eq!(wf.assignment[2], 0);
     }
 
@@ -250,13 +331,25 @@ mod tests {
     fn next_fit_never_looks_back() {
         let tasks = [(1u64, 2u64), (3, 4), (1, 2), (1, 4)];
         let acc = EdfUtilization::new(&tasks);
-        let nf = partition_unbounded(4, &acc, Heuristic::NextFit, SortOrder::None, keys_for(&tasks))
-            .unwrap();
+        let nf = partition_unbounded(
+            4,
+            &acc,
+            Heuristic::NextFit,
+            SortOrder::None,
+            keys_for(&tasks),
+        )
+        .unwrap();
         // 0.5 on p0; 0.75 doesn't fit → p1; 0.5 doesn't fit p1 (1.25) → p2;
         // 0.25 fits p2.
         assert_eq!(nf.assignment, vec![0, 1, 2, 2]);
-        let ff = partition_unbounded(4, &acc, Heuristic::FirstFit, SortOrder::None, keys_for(&tasks))
-            .unwrap();
+        let ff = partition_unbounded(
+            4,
+            &acc,
+            Heuristic::FirstFit,
+            SortOrder::None,
+            keys_for(&tasks),
+        )
+        .unwrap();
         assert!(ff.processors <= nf.processors);
     }
 
@@ -271,8 +364,14 @@ mod tests {
         // FFD: {0.6,0.4}, {0.6,0.4} = 2 bins.
         let tasks = [(2u64, 5u64), (2, 5), (3, 5), (3, 5)];
         let acc = EdfUtilization::new(&tasks);
-        let ff = partition_unbounded(4, &acc, Heuristic::FirstFit, SortOrder::None, keys_for(&tasks))
-            .unwrap();
+        let ff = partition_unbounded(
+            4,
+            &acc,
+            Heuristic::FirstFit,
+            SortOrder::None,
+            keys_for(&tasks),
+        )
+        .unwrap();
         assert_eq!(ff.processors, 3);
         let ffd = partition_unbounded(
             4,
@@ -331,8 +430,14 @@ mod tests {
     fn empty_set_uses_zero_processors() {
         let tasks: [(u64, u64); 0] = [];
         let acc = EdfUtilization::new(&tasks);
-        let r = partition_unbounded(0, &acc, Heuristic::FirstFit, SortOrder::None, keys_for(&tasks))
-            .unwrap();
+        let r = partition_unbounded(
+            0,
+            &acc,
+            Heuristic::FirstFit,
+            SortOrder::None,
+            keys_for(&tasks),
+        )
+        .unwrap();
         assert_eq!(r.processors, 0);
     }
 

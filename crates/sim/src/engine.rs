@@ -40,6 +40,40 @@ pub struct RunMetrics {
     pub misses: u64,
 }
 
+/// Instruments for the `step` hot path. Mirrors the [`RunMetrics`]
+/// accounting so exported snapshots can be cross-checked against the
+/// engine's own totals; all probes are no-ops under the default disabled
+/// recorder.
+struct SimObs {
+    steps: obs::Counter,
+    dispatch_ns: obs::Timer,
+    allocated_quanta: obs::Counter,
+    idle_quanta: obs::Counter,
+    preemptions: obs::Counter,
+    migrations: obs::Counter,
+    context_switches: obs::Counter,
+}
+
+impl SimObs {
+    fn new(rec: &obs::Recorder) -> Self {
+        SimObs {
+            steps: rec.counter("sim.steps"),
+            dispatch_ns: rec.timer("sim.dispatch_ns"),
+            allocated_quanta: rec.counter("sim.allocated_quanta"),
+            idle_quanta: rec.counter("sim.idle_quanta"),
+            preemptions: rec.counter("sim.preemptions"),
+            migrations: rec.counter("sim.migrations"),
+            context_switches: rec.counter("sim.context_switches"),
+        }
+    }
+}
+
+impl Default for SimObs {
+    fn default() -> Self {
+        Self::new(&obs::Recorder::disabled())
+    }
+}
+
 /// Per-task dispatch bookkeeping.
 #[derive(Debug, Clone, Copy)]
 struct DispatchState {
@@ -79,6 +113,7 @@ pub struct MultiSim<D: DelayModel = pfair_core::NoDelay> {
     /// Processor → task it ran in the previous slot.
     proc_owner: Vec<Option<TaskId>>,
     metrics: RunMetrics,
+    obs: SimObs,
     /// Optional full schedule recording (slot → tasks), for verification.
     record: Option<Vec<Vec<TaskId>>>,
     /// Job response times (completion − synchronous release), in slots.
@@ -120,6 +155,7 @@ impl<D: DelayModel> MultiSim<D> {
             dispatch,
             proc_owner: vec![None; m],
             metrics: RunMetrics::default(),
+            obs: SimObs::default(),
             record: None,
             responses: stats::Welford::new(),
             response_samples: None,
@@ -127,6 +163,16 @@ impl<D: DelayModel> MultiSim<D> {
             chosen: Vec::with_capacity(m),
             assignment: vec![None; m],
         }
+    }
+
+    /// Routes dispatch instrumentation (step count, assignment wall time,
+    /// and per-slot allocation/preemption/migration/context-switch deltas)
+    /// to `rec`, and the underlying scheduler's tick instrumentation with
+    /// it. The default recorder is disabled, making every probe a no-op.
+    pub fn set_recorder(&mut self, rec: &obs::Recorder) -> &mut Self {
+        self.obs = SimObs::new(rec);
+        self.sched.set_recorder(rec);
+        self
     }
 
     /// Enables full schedule recording (needed by [`crate::verify`]).
@@ -186,9 +232,11 @@ impl<D: DelayModel> MultiSim<D> {
 
         self.chosen.clear();
         self.sched.tick(t, &mut self.chosen);
+        self.obs.steps.incr();
 
         // Dispatch with affinity: tasks that ran in slot t−1 and are chosen
         // again keep their processor.
+        let dispatch_span = self.obs.dispatch_ns.start();
         self.assignment.iter_mut().for_each(|a| *a = None);
         let mut pending: Vec<TaskId> = Vec::with_capacity(self.chosen.len());
         for &id in &self.chosen {
@@ -213,22 +261,28 @@ impl<D: DelayModel> MultiSim<D> {
             };
             self.assignment[slot] = Some(id);
         }
+        drop(dispatch_span);
 
         // Accounting.
         let mut scheduled_mask = vec![false; self.dispatch.len()];
         for (proc, slot) in self.assignment.iter().enumerate() {
             match slot {
-                None => self.metrics.idle_quanta += 1,
+                None => {
+                    self.metrics.idle_quanta += 1;
+                    self.obs.idle_quanta.incr();
+                }
                 Some(id) => {
                     scheduled_mask[id.index()] = true;
                     let st = &mut self.dispatch[id.index()];
                     if let Some(last) = st.last_proc {
                         if last != proc as u32 {
                             self.metrics.migrations += 1;
+                            self.obs.migrations.incr();
                         }
                     }
                     if self.proc_owner[proc] != Some(*id) {
                         self.metrics.context_switches += 1;
+                        self.obs.context_switches.incr();
                     }
                     st.last_proc = Some(proc as u32);
                     st.in_job += 1;
@@ -243,6 +297,7 @@ impl<D: DelayModel> MultiSim<D> {
                         }
                     }
                     self.metrics.allocated_quanta += 1;
+                    self.obs.allocated_quanta.incr();
                 }
             }
         }
@@ -252,6 +307,7 @@ impl<D: DelayModel> MultiSim<D> {
             let runs_now = scheduled_mask[i];
             if ran_prev && !runs_now && st.in_job != 0 {
                 self.metrics.preemptions += 1;
+                self.obs.preemptions.incr();
             }
             st.prev_proc = None;
         }
@@ -360,10 +416,7 @@ mod tests {
         let horizon = 2 * set.hyperperiod();
         let m = sim.run(horizon);
         assert_eq!(m.slots, horizon);
-        assert_eq!(
-            m.allocated_quanta + m.idle_quanta,
-            horizon * m_procs as u64
-        );
+        assert_eq!(m.allocated_quanta + m.idle_quanta, horizon * m_procs as u64);
         // Context switches ≥ migrations (every migration lands on a
         // processor that was running something else or idle).
         assert!(m.context_switches >= m.migrations);

@@ -88,12 +88,7 @@ impl PartitionedSim {
     ///
     /// Panics if an assignment index is out of range or some processor has
     /// an index gap (processors must be `0..m`).
-    pub fn new(
-        tasks: &[(u64, u64)],
-        assignment: &[u32],
-        m: u32,
-        discipline: Discipline,
-    ) -> Self {
+    pub fn new(tasks: &[(u64, u64)], assignment: &[u32], m: u32, discipline: Discipline) -> Self {
         assert_eq!(tasks.len(), assignment.len());
         let mut groups: Vec<Vec<(u64, u64)>> = vec![Vec::new(); m as usize];
         for (t, &proc) in tasks.iter().zip(assignment) {

@@ -12,7 +12,7 @@ pub mod percentile;
 pub mod table;
 pub mod welford;
 
-pub use ci::{ci99_halfwidth, ci_halfwidth, z_for_confidence};
+pub use ci::{ci99_halfwidth, ci_halfwidth, z_for_confidence, InvalidConfidence};
 pub use percentile::Samples;
 pub use table::Table;
 pub use welford::Welford;

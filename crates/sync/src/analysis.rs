@@ -45,12 +45,7 @@ pub fn lockfree_retry_bound(m: u32) -> u64 {
 /// the `accesses_per_job` lock accesses may spin for the blocking bound
 /// and may be deferred once, wasting at most the section length of
 /// useful-time displacement inside the quantum.
-pub fn pfair_lock_inflation(
-    exec_us: u64,
-    accesses_per_job: u64,
-    m: u32,
-    max_cs_us: u64,
-) -> u64 {
+pub fn pfair_lock_inflation(exec_us: u64, accesses_per_job: u64, m: u32, max_cs_us: u64) -> u64 {
     exec_us + accesses_per_job * (pfair_blocking_bound(m, max_cs_us) + max_cs_us)
 }
 

@@ -146,7 +146,9 @@ impl LockSim {
                     requested_at: p.requested_at,
                 });
             } else if self.rng.gen_bool(self.cfg.request_prob) {
-                let len = self.rng.gen_range(self.cfg.cs_len_us.0..=self.cfg.cs_len_us.1);
+                let len = self
+                    .rng
+                    .gen_range(self.cfg.cs_len_us.0..=self.cfg.cs_len_us.1);
                 let offset = self.rng.gen_range(0..q);
                 requests.push(Req {
                     task: i,
@@ -293,7 +295,10 @@ mod tests {
         // i.e. only as a deferred retry.
         assert!(stats.completed > 0);
         assert!(stats.max_latency_slots >= 1, "deferral must cost a window");
-        assert!(stats.max_latency_slots <= 2, "retry lands in the next window");
+        assert!(
+            stats.max_latency_slots <= 2,
+            "retry lands in the next window"
+        );
     }
 
     #[test]

@@ -125,9 +125,7 @@ impl CbsSim {
                 }
             }
             // Request arrivals.
-            while next_request < self.requests.len()
-                && self.requests[next_request].arrival <= t
-            {
+            while next_request < self.requests.len() && self.requests[next_request].arrival <= t {
                 let r = self.requests[next_request];
                 next_request += 1;
                 if r.demand == 0 {
@@ -305,7 +303,10 @@ mod tests {
         // CBS is work-conserving: it serves its guaranteed bandwidth plus
         // whatever slack the hard tasks leave (1 − 0.65 here) — but never
         // at the hard tasks' expense. Guaranteed floor and slack ceiling:
-        assert!(stats.server_quanta >= 10_000 / 10 * 2 - 2, "bandwidth floor");
+        assert!(
+            stats.server_quanta >= 10_000 / 10 * 2 - 2,
+            "bandwidth floor"
+        );
         assert!(
             stats.server_quanta <= (10_000.0 * 0.35) as u64 + 4,
             "cannot exceed hard-task slack: {}",

@@ -193,7 +193,10 @@ impl UniSim {
 
     /// Earliest future release time, if any.
     fn next_release_time(&self) -> u64 {
-        self.releases.peek().map(|&Reverse((t, _))| t).unwrap_or(u64::MAX)
+        self.releases
+            .peek()
+            .map(|&Reverse((t, _))| t)
+            .unwrap_or(u64::MAX)
     }
 
     /// Ensures the highest-priority pending job is running, counting

@@ -84,7 +84,10 @@ fn trunc_exp_mean(lambda: f64, max: f64) -> f64 {
 /// Requires `0 < mean < max/2` (above `max/2` the truncated exponential
 /// degenerates toward uniform; the paper's 33.3 < 50 is safely inside).
 fn solve_trunc_exp_rate(mean: f64, max: f64) -> f64 {
-    assert!(mean > 0.0 && mean < max / 2.0, "mean must lie in (0, max/2)");
+    assert!(
+        mean > 0.0 && mean < max / 2.0,
+        "mean must lie in (0, max/2)"
+    );
     let (mut lo, mut hi) = (1e-9, 1e3);
     for _ in 0..200 {
         let mid = 0.5 * (lo + hi);

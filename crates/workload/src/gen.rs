@@ -113,7 +113,10 @@ impl TaskSetGenerator {
         let q = self.quantum_us;
         let lo = (self.min_period_us / q).max(1);
         let hi = (self.max_period_us / q).max(lo);
-        let (ln_lo, ln_hi) = ((lo as f64).ln(), (hi as f64).ln().max((lo as f64).ln() + 1e-9));
+        let (ln_lo, ln_hi) = (
+            (lo as f64).ln(),
+            (hi as f64).ln().max((lo as f64).ln() + 1e-9),
+        );
         utils
             .into_iter()
             .map(|u| {

@@ -26,7 +26,10 @@ fn main() {
     let ui = tasks.push(Task::new(1, 4).unwrap());
     let renderer = tasks.push(Task::new(1, 4).unwrap());
     let mut sched = PfairScheduler::new(&tasks, SchedConfig::pd2(2));
-    println!("t=0: steady state, total weight {}", tasks.total_utilization());
+    println!(
+        "t=0: steady state, total weight {}",
+        tasks.total_utilization()
+    );
 
     let mut out = Vec::new();
     let mut tick = |s: &mut PfairScheduler, from: u64, to: u64| {

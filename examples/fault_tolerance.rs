@@ -24,12 +24,7 @@ use pfair_core::sched::{PfairScheduler, SchedConfig};
 use pfair_model::{Task, TaskId, TaskSet};
 
 /// Drives `sched` from `from` to `to`, returning quanta per task.
-fn run_span(
-    sched: &mut PfairScheduler,
-    from: u64,
-    to: u64,
-    n_tasks: usize,
-) -> Vec<u64> {
+fn run_span(sched: &mut PfairScheduler, from: u64, to: u64, n_tasks: usize) -> Vec<u64> {
     let before: Vec<u64> = (0..n_tasks)
         .map(|i| {
             if sched.is_active(TaskId(i as u32)) {
@@ -67,7 +62,10 @@ fn main() {
         .map(|_| tasks.push(Task::new(5, 8).unwrap()))
         .collect();
 
-    println!("before failure: M = 4, total weight = {}", tasks.total_utilization());
+    println!(
+        "before failure: M = 4, total weight = {}",
+        tasks.total_utilization()
+    );
 
     // We cannot shrink M mid-run (a real system would re-admit against the
     // reduced capacity); model the failure by constructing the post-failure
@@ -75,9 +73,16 @@ fn main() {
     // then continue on M = 3. The pre-failure phase runs on M = 4.
     let mut sched = PfairScheduler::new(&tasks, SchedConfig::pd2(4));
     let got = run_span(&mut sched, 0, 500, tasks.len());
-    println!("  [0, 500): critical got {:?}, batch got {:?}", &got[..2], &got[2..]);
+    println!(
+        "  [0, 500): critical got {:?}, batch got {:?}",
+        &got[..2],
+        &got[2..]
+    );
     for &c in &critical {
-        assert!((got[c.index()] as i64 - 250).abs() <= 1, "critical rate held");
+        assert!(
+            (got[c.index()] as i64 - 250).abs() <= 1,
+            "critical rate held"
+        );
     }
     assert!(sched.misses().is_empty());
 
@@ -93,7 +98,11 @@ fn main() {
     }
     let mut sched = PfairScheduler::new(&after, SchedConfig::pd2(3));
     let got = run_span(&mut sched, 0, 1_000, after.len());
-    println!("  next 1000 slots: critical got {:?}, batch got {:?}", &got[..2], &got[2..]);
+    println!(
+        "  next 1000 slots: critical got {:?}, batch got {:?}",
+        &got[..2],
+        &got[2..]
+    );
     for &c in &critical {
         assert!((got[c.index()] as i64 - 500).abs() <= 1);
     }

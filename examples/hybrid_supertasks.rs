@@ -95,7 +95,5 @@ fn main() {
     // The price of pinning: the reweighting overhead.
     let overhead: Rat = (nic.reweighted_weight() - nic.cumulative_weight())
         + (disk.reweighted_weight() - disk.cumulative_weight());
-    println!(
-        "\nreweighting cost: {overhead} of a processor buys migration-free NIC/disk service"
-    );
+    println!("\nreweighting cost: {overhead} of a processor buys migration-free NIC/disk service");
 }

@@ -45,9 +45,7 @@ fn fig3_pipeline_with_simulation_closure() {
         let mut quantum_tasks = TaskSet::new();
         for (t, &dd) in set.tasks.iter().zip(&d) {
             let inf = inflate_pd2(*t, &params, m_pd2, n, dd).unwrap();
-            quantum_tasks.push(
-                pfair_model::Task::new(inf.quanta, inf.period_quanta).unwrap(),
-            );
+            quantum_tasks.push(pfair_model::Task::new(inf.quanta, inf.period_quanta).unwrap());
         }
         assert!(quantum_tasks.feasible_on(m_pd2));
         let mut sim = MultiSim::new(&quantum_tasks, SchedConfig::pd2(m_pd2));

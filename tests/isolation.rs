@@ -108,7 +108,5 @@ fn reweighting_not_overrun_is_the_sanctioned_path() {
         .join(pfair_model::Task::new(8, 8).unwrap(), 0)
         .is_err());
     // …but a truthful 2/8 → 3/8 upgrade fits.
-    assert!(sched
-        .join(pfair_model::Task::new(3, 8).unwrap(), 0)
-        .is_ok());
+    assert!(sched.join(pfair_model::Task::new(3, 8).unwrap(), 0).is_ok());
 }

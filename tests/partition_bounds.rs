@@ -78,8 +78,14 @@ fn lopez_soundness_grid() {
 fn section1_example_gap() {
     let tasks = [(2u64, 3u64), (2, 3), (2, 3)];
     let acc = EdfUtilization::new(&tasks);
-    let part = partition_unbounded(3, &acc, Heuristic::FirstFit, SortOrder::None, keys_for(&tasks))
-        .unwrap();
+    let part = partition_unbounded(
+        3,
+        &acc,
+        Heuristic::FirstFit,
+        SortOrder::None,
+        keys_for(&tasks),
+    )
+    .unwrap();
     assert_eq!(part.processors, 3);
 
     let set = TaskSet::from_pairs(tasks.iter().copied()).unwrap();
@@ -97,8 +103,14 @@ fn ffd_beats_ff_on_adversarial_layout() {
     // utilizations 0.4, 0.4, 0.6, 0.6 (see heuristics unit tests).
     let tasks = [(2u64, 5u64), (2, 5), (3, 5), (3, 5)];
     let acc = EdfUtilization::new(&tasks);
-    let ff = partition_unbounded(4, &acc, Heuristic::FirstFit, SortOrder::None, keys_for(&tasks))
-        .unwrap();
+    let ff = partition_unbounded(
+        4,
+        &acc,
+        Heuristic::FirstFit,
+        SortOrder::None,
+        keys_for(&tasks),
+    )
+    .unwrap();
     let ffd = partition_unbounded(
         4,
         &acc,

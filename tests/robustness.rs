@@ -2,18 +2,15 @@
 //! Sections 2 and 5, under randomized stress — early releases, IS delays,
 //! and join/leave churn.
 
-use pfair_core::sched::{
-    DelayModel, EarlyRelease, JoinError, PfairScheduler, SchedConfig,
-};
+use pfair_core::sched::{DelayModel, EarlyRelease, JoinError, PfairScheduler, SchedConfig};
 use pfair_core::subtask::SubtaskIndex;
 use pfair_model::{Task, TaskId, TaskSet};
 use proptest::prelude::*;
 use sched_sim::MultiSim;
 
 fn arb_taskset(max_tasks: usize) -> impl Strategy<Value = TaskSet> {
-    prop::collection::vec((1u64..8, 2u64..16), 1..max_tasks).prop_map(|raw| {
-        TaskSet::from_pairs(raw.into_iter().map(|(e, p)| (e.min(p), p))).unwrap()
-    })
+    prop::collection::vec((1u64..8, 2u64..16), 1..max_tasks)
+        .prop_map(|raw| TaskSet::from_pairs(raw.into_iter().map(|(e, p)| (e.min(p), p))).unwrap())
 }
 
 proptest! {

@@ -1,0 +1,424 @@
+//! Offline stand-in for `serde_json`.
+//!
+//! Renders and parses the stub `serde` crate's [`serde::Value`] data model
+//! as JSON text. Supports the functions the workspace calls:
+//! [`to_string`], [`to_string_pretty`], [`from_str`].
+
+#![forbid(unsafe_code)]
+
+use serde::{Deserialize, Serialize, Value};
+use std::fmt;
+
+/// JSON serialization/deserialization error.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Error(String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "JSON error: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<serde::DeError> for Error {
+    fn from(e: serde::DeError) -> Self {
+        Error(e.0)
+    }
+}
+
+/// Serializes `value` as compact JSON.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), None, 0)?;
+    Ok(out)
+}
+
+/// Serializes `value` as human-readable, two-space-indented JSON.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), Some(2), 0)?;
+    Ok(out)
+}
+
+/// Parses `s` as JSON and deserializes a `T` from it.
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
+    let v = parse(s)?;
+    Ok(T::from_value(&v)?)
+}
+
+// --- writer ---------------------------------------------------------------
+
+fn write_value(
+    out: &mut String,
+    v: &Value,
+    indent: Option<usize>,
+    depth: usize,
+) -> Result<(), Error> {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Int(i) => out.push_str(&i.to_string()),
+        Value::Float(f) => {
+            if !f.is_finite() {
+                return Err(Error(format!("non-finite number {f} is not valid JSON")));
+            }
+            // Like upstream serde_json, keep floats recognizably floats.
+            if f.fract() == 0.0 && f.abs() < 1e15 {
+                out.push_str(&format!("{f:.1}"));
+            } else {
+                out.push_str(&format!("{f}"));
+            }
+        }
+        Value::Str(s) => write_escaped(out, s),
+        Value::Arr(items) => write_seq(out, items.iter(), indent, depth, ('[', ']'), |o, x, d| {
+            write_value(o, x, indent, d)
+        })?,
+        Value::Obj(pairs) => write_seq(
+            out,
+            pairs.iter(),
+            indent,
+            depth,
+            ('{', '}'),
+            |o, (k, x), d| {
+                write_escaped(o, k);
+                o.push(':');
+                if indent.is_some() {
+                    o.push(' ');
+                }
+                write_value(o, x, indent, d)
+            },
+        )?,
+    }
+    Ok(())
+}
+
+fn write_seq<I, F, T>(
+    out: &mut String,
+    items: I,
+    indent: Option<usize>,
+    depth: usize,
+    brackets: (char, char),
+    mut write_item: F,
+) -> Result<(), Error>
+where
+    I: ExactSizeIterator<Item = T>,
+    F: FnMut(&mut String, T, usize) -> Result<(), Error>,
+{
+    out.push(brackets.0);
+    let empty = items.len() == 0;
+    for (i, item) in items.enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        if let Some(w) = indent {
+            out.push('\n');
+            out.push_str(&" ".repeat(w * (depth + 1)));
+        }
+        write_item(out, item, depth + 1)?;
+    }
+    if !empty {
+        if let Some(w) = indent {
+            out.push('\n');
+            out.push_str(&" ".repeat(w * depth));
+        }
+    }
+    out.push(brackets.1);
+    Ok(())
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+// --- parser ---------------------------------------------------------------
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+fn parse(s: &str) -> Result<Value, Error> {
+    let mut p = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(Error(format!("trailing characters at byte {}", p.pos)));
+    }
+    Ok(v)
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&mut self) -> Result<u8, Error> {
+        self.skip_ws();
+        self.bytes
+            .get(self.pos)
+            .copied()
+            .ok_or_else(|| Error("unexpected end of input".into()))
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek()? == b {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error(format!(
+                "expected `{}` at byte {}",
+                b as char, self.pos
+            )))
+        }
+    }
+
+    fn eat_keyword(&mut self, kw: &str, v: Value) -> Result<Value, Error> {
+        if self.bytes[self.pos..].starts_with(kw.as_bytes()) {
+            self.pos += kw.len();
+            Ok(v)
+        } else {
+            Err(Error(format!("invalid literal at byte {}", self.pos)))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, Error> {
+        match self.peek()? {
+            b'n' => self.eat_keyword("null", Value::Null),
+            b't' => self.eat_keyword("true", Value::Bool(true)),
+            b'f' => self.eat_keyword("false", Value::Bool(false)),
+            b'"' => Ok(Value::Str(self.string()?)),
+            b'[' => {
+                self.pos += 1;
+                let mut items = Vec::new();
+                if self.peek()? == b']' {
+                    self.pos += 1;
+                    return Ok(Value::Arr(items));
+                }
+                loop {
+                    items.push(self.value()?);
+                    match self.peek()? {
+                        b',' => self.pos += 1,
+                        b']' => {
+                            self.pos += 1;
+                            return Ok(Value::Arr(items));
+                        }
+                        other => {
+                            return Err(Error(format!(
+                                "expected `,` or `]`, got `{}` at byte {}",
+                                other as char, self.pos
+                            )))
+                        }
+                    }
+                }
+            }
+            b'{' => {
+                self.pos += 1;
+                let mut pairs = Vec::new();
+                if self.peek()? == b'}' {
+                    self.pos += 1;
+                    return Ok(Value::Obj(pairs));
+                }
+                loop {
+                    self.skip_ws();
+                    let key = self.string()?;
+                    self.expect(b':')?;
+                    pairs.push((key, self.value()?));
+                    match self.peek()? {
+                        b',' => self.pos += 1,
+                        b'}' => {
+                            self.pos += 1;
+                            return Ok(Value::Obj(pairs));
+                        }
+                        other => {
+                            return Err(Error(format!(
+                                "expected `,` or `}}`, got `{}` at byte {}",
+                                other as char, self.pos
+                            )))
+                        }
+                    }
+                }
+            }
+            b'-' | b'0'..=b'9' => self.number(),
+            other => Err(Error(format!(
+                "unexpected `{}` at byte {}",
+                other as char, self.pos
+            ))),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut s = String::new();
+        loop {
+            let Some(&b) = self.bytes.get(self.pos) else {
+                return Err(Error("unterminated string".into()));
+            };
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(s),
+                b'\\' => {
+                    let Some(&esc) = self.bytes.get(self.pos) else {
+                        return Err(Error("unterminated escape".into()));
+                    };
+                    self.pos += 1;
+                    match esc {
+                        b'"' => s.push('"'),
+                        b'\\' => s.push('\\'),
+                        b'/' => s.push('/'),
+                        b'n' => s.push('\n'),
+                        b'r' => s.push('\r'),
+                        b't' => s.push('\t'),
+                        b'b' => s.push('\u{8}'),
+                        b'f' => s.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .ok_or_else(|| Error("truncated \\u escape".into()))?;
+                            let hex = std::str::from_utf8(hex)
+                                .map_err(|_| Error("bad \\u escape".into()))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| Error("bad \\u escape".into()))?;
+                            self.pos += 4;
+                            // No surrogate-pair support: the writer never
+                            // emits them (it escapes only control chars).
+                            s.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| Error("bad \\u code point".into()))?,
+                            );
+                        }
+                        other => return Err(Error(format!("bad escape `\\{}`", other as char))),
+                    }
+                }
+                _ => {
+                    // Re-decode UTF-8 from this byte.
+                    let start = self.pos - 1;
+                    let len = utf8_len(b);
+                    let chunk = self
+                        .bytes
+                        .get(start..start + len)
+                        .ok_or_else(|| Error("truncated UTF-8".into()))?;
+                    let chunk =
+                        std::str::from_utf8(chunk).map_err(|_| Error("bad UTF-8".into()))?;
+                    s.push_str(chunk);
+                    self.pos = start + len;
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        let mut is_float = false;
+        while let Some(&b) = self.bytes.get(self.pos) {
+            match b {
+                b'0'..=b'9' | b'-' | b'+' => self.pos += 1,
+                b'.' | b'e' | b'E' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| Error("bad number".into()))?;
+        if is_float {
+            text.parse::<f64>()
+                .map(Value::Float)
+                .map_err(|_| Error(format!("bad number `{text}`")))
+        } else {
+            text.parse::<i128>()
+                .map(Value::Int)
+                .map_err(|_| Error(format!("bad number `{text}`")))
+        }
+    }
+}
+
+fn utf8_len(first: u8) -> usize {
+    match first {
+        0x00..=0x7F => 1,
+        0xC0..=0xDF => 2,
+        0xE0..=0xEF => 3,
+        _ => 4,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_round_trip() {
+        for text in ["null", "true", "false", "42", "-7", "1.5", "\"hi\""] {
+            let v = parse(text).unwrap();
+            let mut out = String::new();
+            write_value(&mut out, &v, None, 0).unwrap();
+            assert_eq!(out, text);
+        }
+    }
+
+    #[test]
+    fn nested_structures_round_trip() {
+        let text = r#"{"a":[1,2,{"b":"x"}],"c":null,"d":[[]]}"#;
+        let v = parse(text).unwrap();
+        let mut out = String::new();
+        write_value(&mut out, &v, None, 0).unwrap();
+        assert_eq!(out, text);
+    }
+
+    #[test]
+    fn pretty_output_parses_back() {
+        let v = parse(r#"{"a":[1,2],"b":{"c":1.25}}"#).unwrap();
+        let mut pretty = String::new();
+        write_value(&mut pretty, &v, Some(2), 0).unwrap();
+        assert!(pretty.contains("\n  "));
+        assert_eq!(parse(&pretty).unwrap(), v);
+    }
+
+    #[test]
+    fn escapes_round_trip() {
+        let v = Value::Str("a\"b\\c\nd\te\u{1}".into());
+        let mut out = String::new();
+        write_value(&mut out, &v, None, 0).unwrap();
+        assert_eq!(parse(&out).unwrap(), v);
+    }
+
+    #[test]
+    fn typed_round_trip() {
+        let v: Vec<(u64, f64)> = serde_json::from_str("[[1,2.5],[3,4.0]]").unwrap();
+        assert_eq!(v, vec![(1, 2.5), (3, 4.0)]);
+        assert_eq!(to_string(&v).unwrap(), "[[1,2.5],[3,4.0]]");
+    }
+
+    #[test]
+    fn errors_carry_context() {
+        assert!(parse("[1,").is_err());
+        assert!(parse("{\"a\" 1}").is_err());
+        assert!(parse("[1] junk").is_err());
+        assert!(to_string(&f64::NAN).is_err());
+    }
+
+    use crate as serde_json;
+}
