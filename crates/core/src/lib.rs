@@ -12,6 +12,8 @@
 //!   joins/leaves.
 //! * [`lag`] — lag computation and full-schedule Pfair validation
 //!   (Equation (1)).
+//! * [`recovery`] — overload detection (lag watchdog) and weight-ordered
+//!   load shedding for fault recovery, built on the join/leave rules.
 //! * [`supertask`] — supertasking (Section 5.5): naive cumulative-weight
 //!   bundling, the Fig. 5 unsoundness, and Holman–Anderson reweighting.
 //!
@@ -40,12 +42,14 @@
 pub mod lag;
 pub mod priority;
 pub mod queue;
+pub mod recovery;
 pub mod sched;
 pub mod subtask;
 pub mod supertask;
 
 pub use priority::{Policy, SubtaskTag};
 pub use queue::{MinQueue, QueueKind};
+pub use recovery::{plan_shedding, LagWatchdog};
 pub use sched::{
     DelayModel, EarlyRelease, JoinError, LeaveError, MapDelays, Miss, NoDelay, PfairScheduler,
     ReweightError, SchedConfig, SporadicDelays,

@@ -477,6 +477,36 @@ impl<D: DelayModel> PfairScheduler<D> {
         self.cfg.policy
     }
 
+    /// Changes the processor count `M` from the next slot on (fail-stop
+    /// loss or repaired capacity). Shrinking below `Σ wt` puts the system
+    /// in overload: the scheduler keeps picking the `M` highest-priority
+    /// subtasks and records the resulting window violations in
+    /// [`Self::misses`]; pair with load shedding (see
+    /// [`crate::recovery::plan_shedding`]) to restore feasibility.
+    pub fn set_processors(&mut self, m: u32) {
+        self.cfg.processors = m;
+    }
+
+    /// Switches the eligibility model from the next queued subtask on.
+    /// Subtasks already in the ready/release queues keep the eligibility
+    /// they were queued with, so the switch takes full effect within one
+    /// subtask per task. Used by recovery to enable ERfair catch-up after
+    /// an overload and to drop back once lag re-converges.
+    pub fn set_early_release(&mut self, er: EarlyRelease) {
+        self.cfg.early_release = er;
+    }
+
+    /// The currently configured eligibility model.
+    pub fn early_release(&self) -> EarlyRelease {
+        self.cfg.early_release
+    }
+
+    /// Number of task slots ever admitted (active or departed); valid
+    /// [`TaskId`]s are `0..task_count`.
+    pub fn task_count(&self) -> usize {
+        self.tasks.len()
+    }
+
     /// Total weight of the currently active (and not-yet-freed departing)
     /// tasks.
     pub fn total_weight(&self) -> WeightSum {

@@ -57,21 +57,30 @@ impl Args {
         self.values.get(name).map(String::as_str)
     }
 
-    /// Parses `--name` as `T`, with a default.
-    ///
-    /// # Panics
-    ///
-    /// Panics with a clear message if the value fails to parse.
-    pub fn get_or<T: std::str::FromStr>(&self, name: &str, default: T) -> T
+    /// Parses `--name` as `T`, with a default; a malformed value is an
+    /// `Err` describing the flag, the raw text, and the parse failure.
+    pub fn try_get_or<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String>
     where
         T::Err: std::fmt::Display,
     {
         match self.get(name) {
-            None => default,
-            Some(raw) => raw
-                .parse()
-                .unwrap_or_else(|e| panic!("--{name} {raw}: {e}")),
+            None => Ok(default),
+            Some(raw) => raw.parse().map_err(|e| format!("--{name} {raw}: {e}")),
         }
+    }
+
+    /// Parses `--name` as `T`, with a default. A malformed value prints
+    /// the error to stderr and exits with code 2 (usage error) — figure
+    /// binaries should fail a bad invocation cleanly, not with a panic
+    /// and backtrace.
+    pub fn get_or<T: std::str::FromStr>(&self, name: &str, default: T) -> T
+    where
+        T::Err: std::fmt::Display,
+    {
+        self.try_get_or(name, default).unwrap_or_else(|e| {
+            eprintln!("{e}");
+            std::process::exit(2);
+        })
     }
 }
 
@@ -96,9 +105,12 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "--tasks")]
-    fn bad_value_panics() {
+    fn bad_value_is_a_described_error() {
         let a = Args::from_args(["--tasks", "fifty"]);
-        let _: usize = a.get_or("tasks", 0);
+        let err = a.try_get_or("tasks", 0usize).unwrap_err();
+        assert!(err.contains("--tasks"), "{err}");
+        assert!(err.contains("fifty"), "{err}");
+        // Well-formed and absent values still parse.
+        assert_eq!(a.try_get_or("sets", 9usize), Ok(9));
     }
 }

@@ -1,0 +1,186 @@
+//! Degradation sweep: PD² vs. partitioned EDF (first-fit decreasing) as
+//! fault intensity grows, across several fault types.
+//!
+//! ```text
+//! cargo run --release -p experiments --bin faults -- [--tasks 10] [--util 2.5] \
+//!     [--sets 20] [--horizon 2000] [--seed 1] [--recovery none|shed|catchup|full] \
+//!     [--csv] [--metrics-out m.json] [--checkpoint ck.json] [--point-retries 1] [--fail-after N]
+//! ```
+//!
+//! Each point fixes a fault type and an intensity level, generates `--sets`
+//! random task sets, and runs both schedulers under the *same* seeded
+//! [`FaultConfig`] for `--horizon` quanta on `M = min_processors()`
+//! processors. Reported per point:
+//!
+//! - mean application deadline-miss ratio and worst observed application
+//!   lag, for PD² and for EDF-FF;
+//! - how many sets EDF-FF rejected outright at partitioning time (PD²
+//!   admits anything with `ΣWt ≤ M` — the paper's point);
+//! - recovery interventions (tasks shed, ERfair catch-up trips) when
+//!   `--recovery` is not `none`.
+//!
+//! Exit codes: 0 success, 2 usage/checkpoint error, 3 simulated crash
+//! (`--fail-after`).
+
+use experiments::{recorder, write_metrics, Args, SweepRunner};
+use faults::{run_edf, run_pd2, FaultConfig, RecoveryPolicy};
+use stats::{Table, Welford};
+use workload::TaskSetGenerator;
+
+/// Fault-intensity levels swept for every fault type.
+const LEVELS: [f64; 3] = [0.10, 0.25, 0.50];
+
+/// Fault types compared (plus one shared fault-free baseline row).
+const KINDS: [&str; 4] = ["loss", "overrun", "failstop", "burst"];
+
+/// Maps a (type, level) pair onto a concrete fault configuration.
+///
+/// `level` is the per-draw probability for loss/overrun/burst faults; for
+/// fail-stop it is the duty cycle of a one-processor outage (a window of
+/// `level · 50` dead slots every 50).
+fn config_for(kind: &str, level: f64, seed: u64) -> FaultConfig {
+    let mut cfg = FaultConfig::none(seed);
+    match kind {
+        "none" => {}
+        "loss" => cfg.loss_rate = level,
+        "overrun" => {
+            cfg.overrun_rate = level;
+            cfg.overrun_max = 3;
+        }
+        "failstop" => {
+            cfg.fail_every = 50;
+            cfg.fail_duration = (level * 50.0).round() as u64;
+            cfg.max_down = 1;
+        }
+        "burst" => {
+            cfg.burst_rate = level;
+            cfg.burst_max = 3;
+        }
+        other => unreachable!("unknown fault kind {other}"),
+    }
+    cfg
+}
+
+fn fmt_opt(w: &Welford) -> String {
+    if w.count() == 0 {
+        "-".to_string()
+    } else {
+        format!("{:.4}", w.mean())
+    }
+}
+
+fn main() {
+    let args = Args::parse();
+    let n: usize = args.get_or("tasks", 10);
+    let util: f64 = args.get_or("util", n as f64 / 4.0);
+    let sets: usize = args.get_or("sets", 20);
+    let horizon: u64 = args.get_or("horizon", 2_000);
+    let seed: u64 = args.get_or("seed", 1);
+    let recovery: String = args.get_or("recovery", "none".to_string());
+    let policy = match recovery.as_str() {
+        "none" => RecoveryPolicy::None,
+        "shed" => RecoveryPolicy::Shed,
+        "catchup" => RecoveryPolicy::CatchUp,
+        "full" => RecoveryPolicy::Full,
+        other => {
+            eprintln!("faults: --recovery {other}: expected none|shed|catchup|full");
+            std::process::exit(2);
+        }
+    };
+    let rec = recorder(&args);
+    let point_ns = rec.timer("faults.point_ns");
+    let edf_rejections = rec.counter("faults.edf_rejections");
+    let violations = rec.counter("faults.window_violations");
+
+    eprintln!("faults: N={n}, U={util}, {sets} sets per point, recovery={recovery}");
+    let mut runner = SweepRunner::new(
+        &args,
+        "faults",
+        format!(
+            "tasks={n} util={util} sets={sets} horizon={horizon} seed={seed} recovery={recovery}"
+        ),
+    );
+    let mut table = Table::new(&[
+        "fault",
+        "level",
+        "PD2 miss",
+        "PD2 max lag",
+        "EDF miss",
+        "EDF max lag",
+        "EDF rejected",
+        "shed",
+        "catchup trips",
+    ]);
+    let points = std::iter::once(("none", 0.0)).chain(
+        KINDS
+            .iter()
+            .flat_map(|&k| LEVELS.iter().map(move |&l| (k, l))),
+    );
+    for (kind, level) in points {
+        let row = runner.run_point(&format!("{kind}@{level:.2}"), || {
+            let _point = point_ns.start();
+            let mut pd2_miss = Welford::new();
+            let mut edf_miss = Welford::new();
+            let mut pd2_lag = 0.0f64;
+            let mut edf_lag = 0.0f64;
+            let mut edf_rejected = 0usize;
+            let mut shed = 0u64;
+            let mut trips = 0u64;
+            for s in 0..sets {
+                let set_seed = seed ^ ((s as u64) << 22);
+                let mut gen = TaskSetGenerator::new(n, util, set_seed);
+                let Ok(tasks) = gen.generate().to_quantum_tasks(1_000) else {
+                    continue;
+                };
+                let m = tasks.min_processors();
+                let cfg = config_for(kind, level, set_seed);
+                let out = run_pd2(&tasks, m, cfg, policy, horizon);
+                pd2_miss.push(out.faults.miss_ratio());
+                pd2_lag = pd2_lag.max(out.faults.max_app_lag);
+                if let Some(r) = out.recovery {
+                    shed += r.tasks_shed;
+                    trips += r.catchup_trips;
+                }
+                if let Some(v) = out.window_violation {
+                    violations.incr();
+                    eprintln!("faults: Pfair window violation in a checkable run: {v:?}");
+                }
+                match run_edf(&tasks, m, cfg, horizon) {
+                    Some(fm) => {
+                        edf_miss.push(fm.miss_ratio());
+                        edf_lag = edf_lag.max(fm.max_app_lag);
+                    }
+                    None => {
+                        edf_rejected += 1;
+                        edf_rejections.incr();
+                    }
+                }
+            }
+            eprintln!(
+                "  {kind}@{level:.2}: PD2 miss {}  EDF miss {}  (EDF rejected {edf_rejected}/{sets})",
+                fmt_opt(&pd2_miss),
+                fmt_opt(&edf_miss)
+            );
+            vec![
+                kind.to_string(),
+                format!("{level:.2}"),
+                fmt_opt(&pd2_miss),
+                format!("{pd2_lag:.3}"),
+                fmt_opt(&edf_miss),
+                format!("{edf_lag:.3}"),
+                edf_rejected.to_string(),
+                shed.to_string(),
+                trips.to_string(),
+            ]
+        });
+        if let Some(row) = row {
+            table.row_owned(row);
+        }
+    }
+    if args.flag("csv") {
+        print!("{}", table.to_csv());
+    } else {
+        print!("{}", table.render());
+    }
+    write_metrics(&args, &rec);
+}

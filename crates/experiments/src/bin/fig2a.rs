@@ -2,11 +2,11 @@
 //! processor, as a function of task count.
 //!
 //! ```text
-//! cargo run --release -p experiments --bin fig2a -- [--sets 100] [--horizon 1000000] [--seed 1] [--csv] [--metrics-out m.json]
+//! cargo run --release -p experiments --bin fig2a -- [--sets 100] [--horizon 1000000] [--seed 1] [--csv] [--metrics-out m.json] [--checkpoint ck.json] [--point-retries 1] [--fail-after N]
 //! ```
 
 use experiments::fig2::{measure_edf_observed, measure_pd2_observed, PAPER_TASK_COUNTS};
-use experiments::{recorder, write_metrics, Args};
+use experiments::{recorder, write_metrics, Args, SweepRunner};
 use stats::{ci99_halfwidth, Table};
 
 fn main() {
@@ -21,19 +21,29 @@ fn main() {
     eprintln!(
         "fig2a: {sets} sets per N, EDF horizon {horizon_us}µs, PD2 horizon {horizon_slots} slots"
     );
+    let mut runner = SweepRunner::new(
+        &args,
+        "fig2a",
+        format!("sets={sets} horizon={horizon_us} slots={horizon_slots} seed={seed}"),
+    );
     let mut table = Table::new(&["N", "EDF (µs)", "±99%", "PD2 (µs)", "±99%"]);
     for &n in &PAPER_TASK_COUNTS {
-        let _point = point_ns.start();
-        let edf = measure_edf_observed(n, sets, horizon_us, seed, &rec);
-        let pd2 = measure_pd2_observed(n, 1, sets, horizon_slots, seed, &rec);
-        table.row_owned(vec![
-            n.to_string(),
-            format!("{:.3}", edf.mean()),
-            format!("{:.3}", ci99_halfwidth(&edf)),
-            format!("{:.3}", pd2.mean()),
-            format!("{:.3}", ci99_halfwidth(&pd2)),
-        ]);
-        eprintln!("  N={n}: EDF {:.3}µs  PD2 {:.3}µs", edf.mean(), pd2.mean());
+        let row = runner.run_point(&format!("N={n}"), || {
+            let _point = point_ns.start();
+            let edf = measure_edf_observed(n, sets, horizon_us, seed, &rec);
+            let pd2 = measure_pd2_observed(n, 1, sets, horizon_slots, seed, &rec);
+            eprintln!("  N={n}: EDF {:.3}µs  PD2 {:.3}µs", edf.mean(), pd2.mean());
+            vec![
+                n.to_string(),
+                format!("{:.3}", edf.mean()),
+                format!("{:.3}", ci99_halfwidth(&edf)),
+                format!("{:.3}", pd2.mean()),
+                format!("{:.3}", ci99_halfwidth(&pd2)),
+            ]
+        });
+        if let Some(row) = row {
+            table.row_owned(row);
+        }
     }
     if args.flag("csv") {
         print!("{}", table.to_csv());

@@ -2,11 +2,11 @@
 //! processors, as a function of task count.
 //!
 //! ```text
-//! cargo run --release -p experiments --bin fig2b -- [--sets 50] [--slots 20000] [--seed 1] [--csv] [--metrics-out m.json]
+//! cargo run --release -p experiments --bin fig2b -- [--sets 50] [--slots 20000] [--seed 1] [--csv] [--metrics-out m.json] [--checkpoint ck.json] [--point-retries 1] [--fail-after N]
 //! ```
 
 use experiments::fig2::{measure_pd2_observed, PAPER_PROC_COUNTS, PAPER_TASK_COUNTS};
-use experiments::{recorder, write_metrics, Args};
+use experiments::{recorder, write_metrics, Args, SweepRunner};
 use stats::{ci99_halfwidth, Table};
 
 fn main() {
@@ -26,16 +26,26 @@ fn main() {
     let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
     let mut table = Table::new(&header_refs);
 
+    let mut runner = SweepRunner::new(
+        &args,
+        "fig2b",
+        format!("sets={sets} slots={horizon_slots} seed={seed}"),
+    );
     for &n in &PAPER_TASK_COUNTS {
-        let mut row = vec![n.to_string()];
-        for &m in &PAPER_PROC_COUNTS {
-            let _point = point_ns.start();
-            let w = measure_pd2_observed(n, m, sets, horizon_slots, seed, &rec);
-            row.push(format!("{:.3}", w.mean()));
-            row.push(format!("{:.3}", ci99_halfwidth(&w)));
+        let row = runner.run_point(&format!("N={n}"), || {
+            let mut row = vec![n.to_string()];
+            for &m in &PAPER_PROC_COUNTS {
+                let _point = point_ns.start();
+                let w = measure_pd2_observed(n, m, sets, horizon_slots, seed, &rec);
+                row.push(format!("{:.3}", w.mean()));
+                row.push(format!("{:.3}", ci99_halfwidth(&w)));
+            }
+            eprintln!("  N={n}: {}", row[1..].join(" "));
+            row
+        });
+        if let Some(row) = row {
+            table.row_owned(row);
         }
-        eprintln!("  N={n}: {}", row[1..].join(" "));
-        table.row_owned(row);
     }
     if args.flag("csv") {
         print!("{}", table.to_csv());

@@ -2,7 +2,7 @@
 //! utilization grows, with Equation (3) overhead inflation.
 //!
 //! ```text
-//! cargo run --release -p experiments --bin fig3 -- [--tasks 50] [--sets 200] [--points 15] [--seed 1] [--csv] [--metrics-out m.json]
+//! cargo run --release -p experiments --bin fig3 -- [--tasks 50] [--sets 200] [--points 15] [--seed 1] [--csv] [--metrics-out m.json] [--checkpoint ck.json] [--point-retries 1] [--fail-after N]
 //! ```
 //!
 //! The paper's Fig. 3 panels are `--tasks 50 | 100 | 250 | 500`.
@@ -14,7 +14,7 @@
 //! analytic processor count against an actual miss-free schedule.
 
 use experiments::fig34::{paper_utilization_sweep, run_point_observed};
-use experiments::{recorder, write_metrics, Args};
+use experiments::{recorder, write_metrics, Args, SweepRunner};
 use overhead::OverheadParams;
 use pfair_core::sched::SchedConfig;
 use sched_sim::MultiSim;
@@ -51,26 +51,37 @@ fn main() {
     let rec = recorder(&args);
 
     eprintln!("fig3: N={n}, {sets} sets per point, {points} utilization points");
+    let mut runner = SweepRunner::new(
+        &args,
+        "fig3",
+        format!("tasks={n} sets={sets} points={points} seed={seed}"),
+    );
     let mut table = Table::new(&["U", "PD2 procs", "±99%", "EDF-FF procs", "±99%"]);
     for u in paper_utilization_sweep(n, points) {
-        let p = run_point_observed(n, u, sets, seed, &params, dist, &rec);
-        if rec.is_enabled() {
-            simulate_sample(n, u, seed, &rec);
+        let row = runner.run_point(&format!("U={u:.4}"), || {
+            let p = run_point_observed(n, u, sets, seed, &params, dist, &rec);
+            if rec.is_enabled() {
+                simulate_sample(n, u, seed, &rec);
+            }
+            eprintln!(
+                "  U={u:.2}: PD2 {:.2}  EDF-FF {:.2}  (failures: pd2={} edf={} panics={})",
+                p.pd2_procs.mean(),
+                p.edf_procs.mean(),
+                p.pd2_failures,
+                p.edf_failures,
+                p.worker_panics
+            );
+            vec![
+                format!("{u:.2}"),
+                format!("{:.2}", p.pd2_procs.mean()),
+                format!("{:.2}", ci99_halfwidth(&p.pd2_procs)),
+                format!("{:.2}", p.edf_procs.mean()),
+                format!("{:.2}", ci99_halfwidth(&p.edf_procs)),
+            ]
+        });
+        if let Some(row) = row {
+            table.row_owned(row);
         }
-        table.row_owned(vec![
-            format!("{u:.2}"),
-            format!("{:.2}", p.pd2_procs.mean()),
-            format!("{:.2}", ci99_halfwidth(&p.pd2_procs)),
-            format!("{:.2}", p.edf_procs.mean()),
-            format!("{:.2}", ci99_halfwidth(&p.edf_procs)),
-        ]);
-        eprintln!(
-            "  U={u:.2}: PD2 {:.2}  EDF-FF {:.2}  (failures: pd2={} edf={})",
-            p.pd2_procs.mean(),
-            p.edf_procs.mean(),
-            p.pd2_failures,
-            p.edf_failures
-        );
     }
     if args.flag("csv") {
         print!("{}", table.to_csv());

@@ -2,11 +2,11 @@
 //! quantum varies, exposing the rounding-vs-overhead trade-off.
 //!
 //! ```text
-//! cargo run --release -p experiments --bin quantum -- [--tasks 50] [--util 10] [--sets 100] [--seed 1] [--csv]
+//! cargo run --release -p experiments --bin quantum -- [--tasks 50] [--util 10] [--sets 100] [--seed 1] [--csv] [--checkpoint ck.json] [--point-retries 1] [--fail-after N]
 //! ```
 
-use experiments::quantum::run_quantum_sweep;
-use experiments::Args;
+use experiments::quantum::{run_quantum_point, QUANTUM_SWEEP_US};
+use experiments::{Args, SweepRunner};
 use overhead::OverheadParams;
 use stats::{ci99_halfwidth, Table};
 
@@ -16,16 +16,28 @@ fn main() {
     let util: f64 = args.get_or("util", n as f64 / 5.0);
     let sets: usize = args.get_or("sets", 100);
     let seed: u64 = args.get_or("seed", 1);
+    let params = OverheadParams::paper2003();
 
     eprintln!("quantum sweep: N={n}, U={util}, {sets} sets");
+    let mut runner = SweepRunner::new(
+        &args,
+        "quantum",
+        format!("tasks={n} util={util} sets={sets} seed={seed}"),
+    );
     let mut table = Table::new(&["q (µs)", "PD2 procs", "±99%", "failures"]);
-    for p in run_quantum_sweep(n, util, sets, seed, &OverheadParams::paper2003()) {
-        table.row_owned(vec![
-            p.quantum_us.to_string(),
-            format!("{:.2}", p.pd2_procs.mean()),
-            format!("{:.2}", ci99_halfwidth(&p.pd2_procs)),
-            p.failures.to_string(),
-        ]);
+    for &q in &QUANTUM_SWEEP_US {
+        let row = runner.run_point(&format!("q={q}"), || {
+            let p = run_quantum_point(n, util, sets, seed, &params, q);
+            vec![
+                p.quantum_us.to_string(),
+                format!("{:.2}", p.pd2_procs.mean()),
+                format!("{:.2}", ci99_halfwidth(&p.pd2_procs)),
+                p.failures.to_string(),
+            ]
+        });
+        if let Some(row) = row {
+            table.row_owned(row);
+        }
     }
     if args.flag("csv") {
         print!("{}", table.to_csv());

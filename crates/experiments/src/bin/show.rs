@@ -85,8 +85,12 @@ fn main() {
     }
 
     if let Some(path) = args.get("trace") {
-        let trace = ScheduleTrace::capture(&tasks, &sim);
-        std::fs::write(path, trace.to_json()).expect("write trace");
+        let trace = ScheduleTrace::capture(&tasks, &sim)
+            .expect("record_schedule() was enabled before the run");
+        if let Err(e) = std::fs::write(path, trace.to_json()) {
+            eprintln!("show: cannot write trace to {path}: {e}");
+            std::process::exit(2);
+        }
         println!("\ntrace written to {path}");
     }
 }

@@ -7,17 +7,32 @@
 //! ```
 //!
 //! Exits non-zero on verification failure — usable as a regression gate on
-//! archived schedules.
+//! archived schedules. Exit codes: 1 = verification failed, 2 = usage or
+//! unreadable/unparseable input.
 
 use experiments::Args;
 use sched_sim::ScheduleTrace;
 
 fn main() {
     let args = Args::parse();
-    let path = args.get("input").expect("--input <trace.json> required");
-    let json = std::fs::read_to_string(path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
-    let trace =
-        ScheduleTrace::from_json(&json).unwrap_or_else(|e| panic!("cannot parse {path}: {e}"));
+    let Some(path) = args.get("input") else {
+        eprintln!("verify_trace: --input <trace.json> is required");
+        std::process::exit(2);
+    };
+    let json = match std::fs::read_to_string(path) {
+        Ok(json) => json,
+        Err(e) => {
+            eprintln!("verify_trace: cannot read {path}: {e}");
+            std::process::exit(2);
+        }
+    };
+    let trace = match ScheduleTrace::from_json(&json) {
+        Ok(trace) => trace,
+        Err(e) => {
+            eprintln!("verify_trace: cannot parse {path}: {e}");
+            std::process::exit(2);
+        }
+    };
 
     println!(
         "{path}: {} tasks, M = {}, {} slots, {} misses recorded",

@@ -48,6 +48,11 @@ pub struct SchedPoint {
     pub pd2_failures: usize,
     /// Sets where EDF-FF could not place some task even alone (rare).
     pub edf_failures: usize,
+    /// Sets whose processing panicked. Each panic is caught per set, so
+    /// the rest of the point survives; any statistics the set pushed
+    /// before panicking remain in the accumulators, so treat a nonzero
+    /// count as a bug report, not a clean exclusion.
+    pub worker_panics: usize,
 }
 
 /// Merges the accumulators of `other` into `self` (parallel aggregation).
@@ -60,6 +65,7 @@ impl SchedPoint {
         self.ff_loss.merge(&other.ff_loss);
         self.pd2_failures += other.pd2_failures;
         self.edf_failures += other.edf_failures;
+        self.worker_panics += other.worker_panics;
     }
 }
 
@@ -109,6 +115,7 @@ pub fn run_point_observed(
     let sets_done = rec.counter("fig34.sets");
     let pd2_failures = rec.counter("fig34.pd2_failures");
     let edf_failures = rec.counter("fig34.edf_failures");
+    let worker_panics = rec.counter("fig34.worker_panics");
     let merged = std::sync::Mutex::new(SchedPoint {
         total_util,
         ..SchedPoint::default()
@@ -124,14 +131,30 @@ pub fn run_point_observed(
                         break;
                     }
                     let _span = set_ns.start();
-                    run_one_set(n, total_util, s, seed, params, dist, rec, &mut local);
+                    // A panic on one pathological set becomes a counted,
+                    // per-set failure instead of poisoning the whole
+                    // point: the worker keeps draining the queue and its
+                    // partial aggregates still merge.
+                    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        run_one_set(n, total_util, s, seed, params, dist, rec, &mut local);
+                    }));
+                    if let Err(payload) = outcome {
+                        local.worker_panics += 1;
+                        worker_panics.incr();
+                        let msg = payload
+                            .downcast_ref::<String>()
+                            .map(String::as_str)
+                            .or_else(|| payload.downcast_ref::<&str>().copied())
+                            .unwrap_or("<non-string panic payload>");
+                        eprintln!("fig34: set {s} at U={total_util:.2} panicked: {msg}");
+                    }
                     sets_done.incr();
                 }
                 pd2_failures.add(local.pd2_failures as u64);
                 edf_failures.add(local.edf_failures as u64);
                 merged
                     .lock()
-                    .expect("worker threads do not panic")
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
                     .merge(&local);
             });
         }
@@ -145,7 +168,9 @@ pub fn run_point_observed(
         .record((sets as f64 / (wall_ns as f64 * 1e-9)) as u64);
     rec.histogram("fig34.worker_util_pct", &[10, 25, 50, 75, 90, 100])
         .record((100.0 * busy_ns as f64 / (wall_ns as f64 * workers as f64)).min(100.0) as u64);
-    merged.into_inner().expect("worker threads do not panic")
+    merged
+        .into_inner()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
 }
 
 /// Processes a single random task set into `point`.

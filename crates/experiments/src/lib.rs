@@ -12,19 +12,29 @@
 //! | `fig5`  | Fig. 5       | The supertasking deadline miss, plus the reweighted fix |
 //! | `quantum` | §4 "Challenges" | Quantum-size trade-off: rounding loss vs. overhead loss |
 //! | `dhall` | §1           | Dhall effect: global EDF vs. PD² on near-unit-utilization sets |
+//! | `faults` | §6 (future work) | Degradation under injected faults: PD² (with recovery) vs. partitioned EDF |
 //!
 //! All binaries accept `--sets`, `--seed`, `--csv`, and figure-specific
 //! flags (see `--help`); defaults are sized so the full suite runs in
 //! minutes on a laptop, with paper-scale counts available via flags.
+//!
+//! The sweep binaries (`fig2a`, `fig2b`, `fig3`, `fig4`, `quantum`,
+//! `faults`) are crash-tolerant: `--checkpoint <file>` persists every
+//! completed point atomically and resumes an interrupted run; sweep
+//! points run under `catch_unwind` with `--point-retries` (see
+//! [`checkpoint`]). `fig5` and `dhall` are single-shot demonstrations
+//! and intentionally have no checkpoint support.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod args;
+pub mod checkpoint;
 pub mod fig2;
 pub mod fig34;
 pub mod metrics;
 pub mod quantum;
 
 pub use args::Args;
+pub use checkpoint::{CheckpointPoint, CheckpointState, SweepRunner};
 pub use metrics::{recorder, write_metrics};

@@ -27,9 +27,49 @@ pub struct QuantumPoint {
 /// Quantum sizes (µs) that divide the 10 ms period grid used below.
 pub const QUANTUM_SWEEP_US: [u64; 7] = [100, 250, 500, 1_000, 2_000, 5_000, 10_000];
 
+/// Computes one quantum-size point over `sets` random task sets of `n`
+/// tasks at the given total utilization. Every set's generator and delay
+/// draws derive from `(seed, set index)` alone, so a point's statistics
+/// are independent of which other points run (or resume) around it —
+/// the property the checkpointing harness relies on.
+pub fn run_quantum_point(
+    n: usize,
+    total_util: f64,
+    sets: usize,
+    seed: u64,
+    base: &OverheadParams,
+    quantum_us: u64,
+) -> QuantumPoint {
+    let dist = CacheDelayDist::paper2003();
+    let mut point = QuantumPoint {
+        quantum_us,
+        pd2_procs: Welford::new(),
+        failures: 0,
+    };
+    let params = OverheadParams {
+        quantum_us,
+        ..*base
+    };
+    for s in 0..sets {
+        let mut gen = TaskSetGenerator::new(n, total_util, seed ^ ((s as u64) << 22))
+            .with_quantum(10_000)
+            .with_period_range(10_000, 1_000_000);
+        let set = gen.generate();
+        let mut rng = StdRng::seed_from_u64(seed.rotate_left(17) ^ ((s as u64) << 22));
+        let d = dist.sample_n(&mut rng, n);
+        match pd2_processors_required(&set.tasks, &params, &d, (4 * n) as u32) {
+            Ok(m) => point.pd2_procs.push(m as f64),
+            Err(_) => point.failures += 1,
+        }
+    }
+    point
+}
+
 /// Sweeps quantum sizes for `sets` random task sets of `n` tasks at the
 /// given total utilization. Periods are generated as multiples of 10 ms so
-/// every quantum in [`QUANTUM_SWEEP_US`] divides them.
+/// every quantum in [`QUANTUM_SWEEP_US`] divides them. Sets (and their
+/// cache-delay draws) are shared across quantum sizes, so the points
+/// differ only in the quantum.
 pub fn run_quantum_sweep(
     n: usize,
     total_util: f64,
@@ -37,34 +77,10 @@ pub fn run_quantum_sweep(
     seed: u64,
     base: &OverheadParams,
 ) -> Vec<QuantumPoint> {
-    let dist = CacheDelayDist::paper2003();
-    let mut points: Vec<QuantumPoint> = QUANTUM_SWEEP_US
+    QUANTUM_SWEEP_US
         .iter()
-        .map(|&q| QuantumPoint {
-            quantum_us: q,
-            pd2_procs: Welford::new(),
-            failures: 0,
-        })
-        .collect();
-    let mut rng = StdRng::seed_from_u64(seed);
-    for s in 0..sets {
-        let mut gen = TaskSetGenerator::new(n, total_util, seed ^ ((s as u64) << 22))
-            .with_quantum(10_000)
-            .with_period_range(10_000, 1_000_000);
-        let set = gen.generate();
-        let d = dist.sample_n(&mut rng, n);
-        for point in &mut points {
-            let params = OverheadParams {
-                quantum_us: point.quantum_us,
-                ..*base
-            };
-            match pd2_processors_required(&set.tasks, &params, &d, (4 * n) as u32) {
-                Ok(m) => point.pd2_procs.push(m as f64),
-                Err(_) => point.failures += 1,
-            }
-        }
-    }
-    points
+        .map(|&q| run_quantum_point(n, total_util, sets, seed, base, q))
+        .collect()
 }
 
 #[cfg(test)]

@@ -1,0 +1,153 @@
+//! One-call degradation runners: a task set, a fault plan, a recovery
+//! policy, a horizon — out come comparable PD² and partitioned-EDF
+//! fault metrics for the experiments layer.
+
+use pfair_core::{DelayModel, PfairScheduler, SchedConfig};
+use pfair_model::{Slot, TaskSet};
+use sched_sim::{FaultMetrics, IncrementalWindowCheck, MultiSim, RunMetrics, WindowViolation};
+
+use crate::edf::QuantumEdfSim;
+use crate::plan::{FaultConfig, FaultPlan};
+use crate::recovery::{RecoveryController, RecoveryPolicy, RecoveryStats};
+
+/// Everything one simulated degradation run produces.
+#[derive(Debug, Clone)]
+pub struct DegradationOutcome {
+    /// Fault/miss metrics (finalized over the horizon).
+    pub faults: FaultMetrics,
+    /// The engine's dispatch metrics (preemptions, migrations, …).
+    pub run: RunMetrics,
+    /// Recovery interventions (`None` for [`RecoveryPolicy::None`]).
+    pub recovery: Option<RecoveryStats>,
+    /// First Pfair window violation, when the run was verifiable (see
+    /// [`run_pd2`]); `None` means "clean" or "not checkable".
+    pub window_violation: Option<WindowViolation>,
+}
+
+fn drive<D: DelayModel>(
+    sim: &mut MultiSim<D>,
+    ctl: &mut RecoveryController,
+    horizon: Slot,
+    check: Option<&mut IncrementalWindowCheck>,
+) -> Option<WindowViolation> {
+    let mut violation = None;
+    let mut check = check;
+    for t in 0..horizon {
+        ctl.before_slot(sim, t);
+        sim.step();
+        if let Some(c) = check.as_deref_mut() {
+            if let Err(v) = c.observe_slot(sim.last_chosen()) {
+                violation.get_or_insert(v);
+            }
+        }
+    }
+    violation
+}
+
+/// Runs PD² over `tasks` on `m` processors for `horizon` slots under the
+/// plan drawn from `cfg`, with `policy` recovery.
+///
+/// Faults never corrupt the *scheduler* (they only steal useful work from
+/// the dispatched quanta), so whenever the scheduler itself runs
+/// unmodified plain Pfair — policy [`RecoveryPolicy::None`] and no
+/// arrival bursts — the recorded decisions are additionally fed through an
+/// [`IncrementalWindowCheck`]: any reported violation is a simulator bug,
+/// not a fault effect. Runs with bursts (IS windows shift) or an active
+/// recovery policy (ER catch-up / joins change eligibility) are not
+/// checkable and skip the verifier.
+pub fn run_pd2(
+    tasks: &TaskSet,
+    m: u32,
+    cfg: FaultConfig,
+    policy: RecoveryPolicy,
+    horizon: Slot,
+) -> DegradationOutcome {
+    let plan = FaultPlan::new(cfg);
+    let sched_cfg = SchedConfig::pd2(m);
+    let checkable = policy == RecoveryPolicy::None && cfg.burst_rate <= 0.0;
+    let mut check = checkable.then(|| IncrementalWindowCheck::new(tasks));
+    let mut ctl = RecoveryController::new(plan.clone(), tasks, m, policy);
+    let (faults, run, violation) = if cfg.burst_rate > 0.0 {
+        // Bursts reach the scheduler as IS delays *and* the application
+        // layer as shifted arrivals/deadlines, from the same draws.
+        let sched = PfairScheduler::with_delays(tasks, sched_cfg, plan.delays(tasks));
+        let mut sim = MultiSim::with_scheduler(tasks, sched);
+        sim.set_fault_hook(Box::new(plan));
+        let violation = drive(&mut sim, &mut ctl, horizon, check.as_mut());
+        (sim.finalize_faults(), sim.metrics(), violation)
+    } else {
+        let mut sim = MultiSim::new(tasks, sched_cfg);
+        sim.set_fault_hook(Box::new(plan));
+        let violation = drive(&mut sim, &mut ctl, horizon, check.as_mut());
+        (sim.finalize_faults(), sim.metrics(), violation)
+    };
+    DegradationOutcome {
+        faults,
+        run,
+        recovery: (policy != RecoveryPolicy::None).then(|| ctl.stats()),
+        window_violation: violation,
+    }
+}
+
+/// Runs partitioned EDF (first-fit decreasing) under the same plan.
+/// Returns `None` when the set does not partition onto `m` processors —
+/// an admission loss the caller should report as such.
+pub fn run_edf(tasks: &TaskSet, m: u32, cfg: FaultConfig, horizon: Slot) -> Option<FaultMetrics> {
+    let plan = FaultPlan::new(cfg);
+    let mut sim = QuantumEdfSim::new(tasks, m, plan).ok()?;
+    Some(sim.run(horizon))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tasks() -> TaskSet {
+        TaskSet::from_pairs([(1u64, 2u64), (1, 3), (2, 5), (1, 4), (3, 7)]).unwrap()
+    }
+
+    #[test]
+    fn fault_free_run_is_clean_and_verified() {
+        let out = run_pd2(&tasks(), 2, FaultConfig::none(0), RecoveryPolicy::None, 420);
+        assert_eq!(out.faults.job_misses, 0, "{:?}", out.faults);
+        assert!(out.window_violation.is_none());
+        assert!(out.recovery.is_none());
+        assert!(out.faults.jobs_due > 0);
+    }
+
+    #[test]
+    fn losses_degrade_pd2_but_schedule_stays_pfair() {
+        let cfg = FaultConfig {
+            loss_rate: 0.3,
+            ..FaultConfig::none(42)
+        };
+        let out = run_pd2(&tasks(), 2, cfg, RecoveryPolicy::None, 420);
+        assert!(out.faults.wasted_quanta > 0);
+        assert!(out.faults.job_misses > 0, "{:?}", out.faults);
+        // The *scheduler's* decisions remain a valid Pfair schedule.
+        assert!(out.window_violation.is_none());
+    }
+
+    #[test]
+    fn edf_runner_reports_admission_failure_as_none() {
+        let heavy = TaskSet::from_pairs([(2u64, 3u64), (2, 3), (2, 3)]).unwrap();
+        assert!(run_edf(&heavy, 2, FaultConfig::none(0), 100).is_none());
+        // PD² schedules the same set (Σwt = 2 = M) without misses.
+        let out = run_pd2(&heavy, 2, FaultConfig::none(0), RecoveryPolicy::None, 300);
+        assert_eq!(out.faults.job_misses, 0, "{:?}", out.faults);
+    }
+
+    #[test]
+    fn burst_runs_use_is_delays_and_skip_the_checker() {
+        let cfg = FaultConfig {
+            burst_rate: 0.4,
+            burst_max: 3,
+            ..FaultConfig::none(17)
+        };
+        let out = run_pd2(&tasks(), 2, cfg, RecoveryPolicy::None, 420);
+        // Bursts postpone deadlines as well as arrivals; a feasible set
+        // stays feasible under the IS model (paper, Theorem 1).
+        assert_eq!(out.faults.job_misses, 0, "{:?}", out.faults);
+        assert!(out.window_violation.is_none());
+    }
+}

@@ -1,0 +1,124 @@
+//! Cross-crate robustness properties: the zero-fault plan is bit-for-bit
+//! inert, and processor fail + rejoin leaves application lag bounded.
+
+use faults::{run_with_recovery, FaultConfig, FaultPlan, RecoveryController, RecoveryPolicy};
+use pfair_core::SchedConfig;
+use pfair_model::TaskSet;
+use proptest::prelude::*;
+use sched_sim::MultiSim;
+
+fn ts(pairs: &[(u64, u64)]) -> TaskSet {
+    TaskSet::from_pairs(pairs.iter().copied()).unwrap()
+}
+
+proptest! {
+    /// An all-rates-zero [`FaultPlan`] must reproduce the fault-free run
+    /// *exactly*: identical schedule, identical dispatch metrics, zero
+    /// fault counters — over arbitrary feasible task sets and seeds.
+    #[test]
+    fn prop_empty_plan_is_bit_for_bit_inert(
+        raw in prop::collection::vec((1u64..8, 2u64..14), 2..7),
+        seed in 0u64..u64::MAX,
+        m_extra in 0u32..2,
+    ) {
+        let pairs: Vec<(u64, u64)> = raw.iter().map(|&(e, p)| (e.min(p), p)).collect();
+        let set = ts(&pairs);
+        let m = set.min_processors() + m_extra;
+        let horizon = (2 * set.hyperperiod()).min(2_000);
+
+        let mut bare = MultiSim::new(&set, SchedConfig::pd2(m));
+        bare.record_schedule();
+        let bare_metrics = bare.run(horizon);
+
+        let mut hooked = MultiSim::new(&set, SchedConfig::pd2(m));
+        hooked.record_schedule();
+        hooked.set_fault_hook(Box::new(FaultPlan::new(FaultConfig::none(seed))));
+        let hooked_metrics = hooked.run(horizon);
+
+        prop_assert_eq!(bare_metrics, hooked_metrics);
+        prop_assert_eq!(bare.schedule().unwrap(), hooked.schedule().unwrap());
+        let fin = hooked.finalize_faults();
+        prop_assert_eq!(fin.wasted_quanta, 0);
+        prop_assert_eq!(fin.dropped_quanta, 0);
+        prop_assert_eq!(fin.dead_proc_quanta, 0);
+        prop_assert_eq!(fin.overruns, 0);
+        // Every due job completes, and app lag obeys the Pfair bound.
+        prop_assert_eq!(fin.job_misses, 0);
+        prop_assert!(fin.jobs_completed >= fin.jobs_due);
+        prop_assert!(fin.max_app_lag <= 1.0 + 1e-9);
+    }
+}
+
+/// A processor outage under the full recovery policy: the heaviest task is
+/// shed while capacity is reduced, re-admitted when the processor rejoins,
+/// and the system re-converges — bounded lag at the end, no job misses
+/// for any protected task (nor for the shed task's completed jobs).
+#[test]
+fn fail_and_rejoin_leaves_lag_bounded() {
+    // Σwt = 1/2 + 1/3 + 1/4 ≈ 1.083 on 2 processors; one processor is
+    // down over slots 20..30, so capacity 1 forces shedding the 1/2 task.
+    let set = ts(&[(1, 2), (1, 3), (1, 4)]);
+    let cfg = FaultConfig {
+        fail_every: 20,
+        fail_duration: 10,
+        max_down: 1,
+        window_end: 35, // exactly one fail-stop event
+        ..FaultConfig::none(13)
+    };
+    let plan = FaultPlan::new(cfg);
+    let mut sim = MultiSim::new(&set, SchedConfig::pd2(2));
+    sim.set_fault_hook(Box::new(plan.clone()));
+    let mut ctl = RecoveryController::new(plan, &set, 2, RecoveryPolicy::Full);
+    let fin = run_with_recovery(&mut sim, &mut ctl, 200);
+    let stats = ctl.stats();
+
+    assert_eq!(fin.dead_proc_quanta, 10, "{fin:?}");
+    assert!(stats.tasks_shed >= 1, "{stats:?}");
+    assert_eq!(stats.rejoins, stats.tasks_shed, "{stats:?}");
+    assert_eq!(ctl.pending_rejoins(), 0);
+    // Capacity tracking means the scheduler never over-selects: nothing
+    // is dropped on the dead processor's account.
+    assert_eq!(fin.dropped_quanta, 0, "{fin:?}");
+    // Every job that came due — before the outage, during it (survivors),
+    // and after rejoin — completed on time.
+    assert_eq!(fin.job_misses, 0, "{fin:?}");
+    assert!(fin.jobs_due > 0);
+    // Lag re-converges after recovery: the final slot's maximum
+    // application lag is back inside the fault-free Pfair bound.
+    assert!(
+        sim.current_max_app_lag() <= 1.0 + 1e-9,
+        "lag did not re-converge: {}",
+        sim.current_max_app_lag()
+    );
+}
+
+/// Lag re-convergence under transient quantum loss with ERfair catch-up:
+/// heavy jitter inside a window drives lag up; once the window closes the
+/// watchdog's catch-up brings the system back under the bound.
+#[test]
+fn catchup_reconverges_after_loss_window() {
+    let set = ts(&[(1, 2), (2, 5), (1, 3)]);
+    let cfg = FaultConfig {
+        loss_rate: 0.8,
+        window_start: 10,
+        window_end: 40,
+        ..FaultConfig::none(99)
+    };
+    let plan = FaultPlan::new(cfg);
+    let mut sim = MultiSim::new(&set, SchedConfig::pd2(2));
+    sim.set_fault_hook(Box::new(plan.clone()));
+    let mut ctl =
+        RecoveryController::new(plan, &set, 2, RecoveryPolicy::CatchUp).with_watchdog(1.5, 2, 1.0);
+    let fin = run_with_recovery(&mut sim, &mut ctl, 400);
+    let stats = ctl.stats();
+
+    assert!(fin.wasted_quanta > 0, "{fin:?}");
+    assert!(fin.max_app_lag > 1.5, "the loss window must hurt: {fin:?}");
+    assert!(stats.catchup_trips >= 1, "{stats:?}");
+    assert!(!ctl.catching_up(), "catch-up must have disengaged");
+    assert!(
+        sim.current_max_app_lag() <= 1.0 + 1e-9,
+        "lag did not re-converge: {}",
+        sim.current_max_app_lag()
+    );
+}

@@ -17,9 +17,26 @@
 //!
 //! The engine also validates the paper's per-job preemption bound
 //! `min(E − 1, P − E)` in its tests.
+//!
+//! # Fault injection
+//!
+//! A [`FaultHook`] installed via [`MultiSim::set_fault_hook`] perturbs the
+//! *execution* of the schedule without ever touching the scheduler's
+//! bookkeeping: the scheduler still hands out idealized quanta, and the
+//! hook decides which of them produce useful work. Per slot it can mark
+//! processors fail-stopped (their quanta are lost and the lowest-priority
+//! scheduled tasks are dropped) or mark a dispatched quantum wasted
+//! (quantum jitter / a lost tick); per job it can demand extra quanta
+//! beyond the declared WCET (an overrun). The engine then tracks
+//! *application-level* job progress — a job completes only after `exec`
+//! (plus any overrun) **useful** quanta — and reports job deadline misses,
+//! observed application lag, and fault counters in a separate
+//! [`FaultMetrics`] struct. With no hook (or a hook that injects nothing)
+//! the engine's behaviour and [`RunMetrics`] are bit-for-bit identical to
+//! a plain run.
 
 use pfair_core::sched::{DelayModel, PfairScheduler};
-use pfair_model::{Slot, TaskId, TaskSet};
+use pfair_model::{Slot, Task, TaskId, TaskSet};
 
 /// Aggregate metrics from a dispatched run.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -40,6 +57,148 @@ pub struct RunMetrics {
     pub misses: u64,
 }
 
+/// Faults applied to one slot, filled in by a [`FaultHook`].
+#[derive(Debug, Clone, Default)]
+pub struct SlotFaults {
+    /// Processors that are fail-stopped this slot: they execute nothing,
+    /// and scheduled tasks that no longer fit on the surviving processors
+    /// are dropped (lowest priority first).
+    pub down: Vec<u32>,
+    /// Processors whose quantum is dispatched but produces no useful work
+    /// (quantum jitter / a lost tick). Ignored for processors that are
+    /// also down.
+    pub wasted: Vec<u32>,
+}
+
+impl SlotFaults {
+    /// Resets both lists (called by the engine before each slot).
+    pub fn clear(&mut self) {
+        self.down.clear();
+        self.wasted.clear();
+    }
+
+    /// Whether this slot is fault-free.
+    pub fn is_clean(&self) -> bool {
+        self.down.is_empty() && self.wasted.is_empty()
+    }
+}
+
+/// Injects faults into a [`MultiSim`] run (see the module docs).
+///
+/// Implementations must be deterministic functions of their own state and
+/// the query arguments: the recovery layer holds an independent clone of
+/// the plan and relies on both copies agreeing slot by slot.
+pub trait FaultHook {
+    /// Fills `out` with the faults for slot `t` on an `m`-processor
+    /// system. `out` arrives cleared.
+    fn slot_faults(&mut self, t: Slot, m: u32, out: &mut SlotFaults);
+
+    /// Extra quanta of demand for `job` (0-based) of `task` beyond its
+    /// declared WCET. Queried exactly once per job, when its declared work
+    /// completes. The default never overruns.
+    fn overrun(&mut self, task: TaskId, job: u64) -> u64 {
+        let _ = (task, job);
+        0
+    }
+
+    /// Total release delay (slots) accumulated through `job` of `task` —
+    /// the cumulative IS offset from arrival bursts, which shifts the
+    /// job's application deadline. The default is the synchronous periodic
+    /// process (no delay).
+    fn release_delay(&mut self, task: TaskId, job: u64) -> u64 {
+        let _ = (task, job);
+        0
+    }
+}
+
+/// Fault-layer counters, kept apart from [`RunMetrics`] so the scheduler
+/// and dispatch view is untouched by the fault machinery.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct FaultMetrics {
+    /// Dispatched quanta that produced no useful work (jitter).
+    pub wasted_quanta: u64,
+    /// Scheduled quanta dropped because their processors were fail-stopped.
+    pub dropped_quanta: u64,
+    /// Processor-slots lost to fail-stop (one per down processor per slot).
+    pub dead_proc_quanta: u64,
+    /// Jobs that demanded quanta beyond their declared WCET.
+    pub overruns: u64,
+    /// Total extra quanta demanded by overrunning jobs.
+    pub overrun_quanta: u64,
+    /// Application-level jobs completed.
+    pub jobs_completed: u64,
+    /// Application-level jobs due by the end of the run (filled in by
+    /// [`MultiSim::finalize_faults`]; 0 before that).
+    pub jobs_due: u64,
+    /// Application-level job deadline misses (late completions, plus —
+    /// after [`MultiSim::finalize_faults`] — due jobs that never finished).
+    pub job_misses: u64,
+    /// Largest observed job tardiness (slots past the deadline).
+    pub max_tardiness: u64,
+    /// Largest observed application lag: `wt·elapsed − useful_quanta` over
+    /// all live tasks and slots. Bounded near 1 in a fault-free run;
+    /// grows with injected load.
+    pub max_app_lag: f64,
+}
+
+impl FaultMetrics {
+    /// Deadline-miss ratio over the jobs due in the run (call
+    /// [`MultiSim::finalize_faults`] first so `jobs_due` is filled in).
+    pub fn miss_ratio(&self) -> f64 {
+        if self.jobs_due == 0 {
+            0.0
+        } else {
+            self.job_misses as f64 / self.jobs_due as f64
+        }
+    }
+}
+
+/// Per-task application-level progress under fault injection.
+#[derive(Debug, Clone, Copy)]
+struct AppTask {
+    exec: u64,
+    period: u64,
+    /// Slot from which this task's jobs are measured (join time).
+    origin: Slot,
+    /// Jobs completed so far (the current job's 0-based index).
+    job: u64,
+    /// Useful quanta into the current job.
+    done: u64,
+    /// Quanta the current job needs (`exec`, plus any overrun).
+    needed: u64,
+    /// Whether the current job's overrun draw already happened.
+    overrun_applied: bool,
+    /// Useful quanta over the task's lifetime.
+    useful_total: u64,
+    /// Task weight as f64, for the application-lag signal.
+    weight_f: f64,
+    /// Arrival of the current job (`origin + job·period + burst delay`):
+    /// quanta granted before it carry no application work, so ERfair
+    /// catch-up cannot run jobs that have not arrived.
+    arrival: Slot,
+    /// Slot at which the task was retired (shed), if any; retired tasks
+    /// stop accruing lag and due jobs.
+    retired_at: Option<Slot>,
+}
+
+impl AppTask {
+    fn new(task: &Task, weight_f: f64, origin: Slot) -> Self {
+        AppTask {
+            exec: task.exec,
+            period: task.period,
+            origin,
+            job: 0,
+            done: 0,
+            needed: task.exec,
+            overrun_applied: false,
+            useful_total: 0,
+            weight_f,
+            arrival: origin,
+            retired_at: None,
+        }
+    }
+}
+
 /// Instruments for the `step` hot path. Mirrors the [`RunMetrics`]
 /// accounting so exported snapshots can be cross-checked against the
 /// engine's own totals; all probes are no-ops under the default disabled
@@ -52,6 +211,11 @@ struct SimObs {
     preemptions: obs::Counter,
     migrations: obs::Counter,
     context_switches: obs::Counter,
+    fault_wasted: obs::Counter,
+    fault_dropped: obs::Counter,
+    fault_dead: obs::Counter,
+    fault_overruns: obs::Counter,
+    fault_job_misses: obs::Counter,
 }
 
 impl SimObs {
@@ -64,6 +228,11 @@ impl SimObs {
             preemptions: rec.counter("sim.preemptions"),
             migrations: rec.counter("sim.migrations"),
             context_switches: rec.counter("sim.context_switches"),
+            fault_wasted: rec.counter("sim.fault.wasted_quanta"),
+            fault_dropped: rec.counter("sim.fault.dropped_quanta"),
+            fault_dead: rec.counter("sim.fault.dead_proc_quanta"),
+            fault_overruns: rec.counter("sim.fault.overruns"),
+            fault_job_misses: rec.counter("sim.fault.job_misses"),
         }
     }
 }
@@ -126,6 +295,19 @@ pub struct MultiSim<D: DelayModel = pfair_core::NoDelay> {
     /// Scratch buffers reused across slots.
     chosen: Vec<TaskId>,
     assignment: Vec<Option<TaskId>>,
+    /// Fault injection (None = the fault layer is entirely inert).
+    hook: Option<Box<dyn FaultHook>>,
+    /// Scratch: faults of the current slot.
+    slot_faults: SlotFaults,
+    /// Scratch: per-processor fail-stop flags for the current slot.
+    proc_down: Vec<bool>,
+    /// Application-level job progress, parallel to `dispatch` (empty while
+    /// no hook is installed).
+    app: Vec<AppTask>,
+    fault_metrics: FaultMetrics,
+    /// Maximum application lag observed in the most recent slot.
+    last_max_lag: f64,
+    faults_finalized: bool,
 }
 
 impl MultiSim<pfair_core::NoDelay> {
@@ -162,6 +344,13 @@ impl<D: DelayModel> MultiSim<D> {
             now: 0,
             chosen: Vec::with_capacity(m),
             assignment: vec![None; m],
+            hook: None,
+            slot_faults: SlotFaults::default(),
+            proc_down: vec![false; m],
+            app: Vec::new(),
+            fault_metrics: FaultMetrics::default(),
+            last_max_lag: 0.0,
+            faults_finalized: false,
         }
     }
 
@@ -224,24 +413,177 @@ impl<D: DelayModel> MultiSim<D> {
         &mut self.sched
     }
 
+    /// Installs a fault hook. Call before the first [`Self::step`]: the
+    /// application-level job bookkeeping starts at the current slot.
+    pub fn set_fault_hook(&mut self, hook: Box<dyn FaultHook>) -> &mut Self {
+        self.hook = Some(hook);
+        let hook = self.hook.as_mut().expect("just installed");
+        self.app = (0..self.dispatch.len())
+            .map(|i| {
+                let id = TaskId(i as u32);
+                let d = &self.dispatch[i];
+                let task = Task::new(d.exec, d.period).expect("dispatch state holds valid tasks");
+                let mut a = AppTask::new(&task, self.sched.weight_of(id).to_f64(), self.now);
+                a.arrival = a.origin + hook.release_delay(id, 0);
+                a
+            })
+            .collect();
+        self
+    }
+
+    /// Whether a fault hook is installed.
+    pub fn has_fault_hook(&self) -> bool {
+        self.hook.is_some()
+    }
+
+    /// Registers dispatch (and, with a hook installed, application)
+    /// bookkeeping for a task joined through
+    /// [`scheduler_mut`](Self::scheduler_mut) — the engine sizes its
+    /// per-task state to the initial task set, so every successful
+    /// `join()` must be paired with this call before the next `step()`.
+    /// Job response-time statistics are not meaningful once tasks join
+    /// dynamically (they assume synchronous releases from slot 0).
+    pub fn register_task(&mut self, id: TaskId, task: Task) {
+        assert_eq!(
+            id.index(),
+            self.dispatch.len(),
+            "register_task must follow the scheduler's id assignment"
+        );
+        self.dispatch.push(DispatchState {
+            prev_proc: None,
+            last_proc: None,
+            in_job: 0,
+            exec: task.exec,
+            period: task.period,
+            completed_jobs: 0,
+        });
+        if let Some(hook) = &mut self.hook {
+            let mut a = AppTask::new(&task, self.sched.weight_of(id).to_f64(), self.now);
+            a.arrival = a.origin + hook.release_delay(id, 0);
+            self.app.push(a);
+        }
+    }
+
+    /// Marks a task as retired (shed by recovery) at slot `t`: it stops
+    /// accruing application lag, and only jobs due by `t` count against it
+    /// in [`Self::finalize_faults`]. A no-op without a fault hook.
+    pub fn retire_task(&mut self, id: TaskId, t: Slot) {
+        if let Some(a) = self.app.get_mut(id.index()) {
+            if a.retired_at.is_none() {
+                a.retired_at = Some(t);
+            }
+        }
+    }
+
+    /// The scheduler's picks for the most recent slot, in descending
+    /// priority order (before any fault-induced drops).
+    pub fn last_chosen(&self) -> &[TaskId] {
+        &self.chosen
+    }
+
+    /// Fault-layer counters so far (all zero without a hook).
+    pub fn fault_metrics(&self) -> FaultMetrics {
+        self.fault_metrics
+    }
+
+    /// Maximum application lag observed in the most recent slot (the
+    /// overload signal for a lag watchdog). 0 without a hook.
+    pub fn current_max_app_lag(&self) -> f64 {
+        self.last_max_lag
+    }
+
+    /// Application lag of one task at the current time (with a hook).
+    pub fn app_lag(&self, id: TaskId) -> f64 {
+        let a = &self.app[id.index()];
+        let elapsed = self.now.saturating_sub(a.origin) as f64;
+        a.weight_f * elapsed - a.useful_total as f64
+    }
+
+    /// Closes out the fault accounting at the end of a run: counts every
+    /// job that was due (deadline at or before the end of the run, or the
+    /// task's retirement) but never completed as a miss, and fills in
+    /// [`FaultMetrics::jobs_due`]. Idempotent; returns the final metrics.
+    pub fn finalize_faults(&mut self) -> FaultMetrics {
+        let horizon = self.now;
+        if self.faults_finalized {
+            return self.fault_metrics;
+        }
+        self.faults_finalized = true;
+        if let Some(hook) = &mut self.hook {
+            for (i, a) in self.app.iter().enumerate() {
+                let id = TaskId(i as u32);
+                let cutoff = a.retired_at.unwrap_or(horizon);
+                let mut due = 0u64;
+                let mut j = 0u64;
+                loop {
+                    let deadline = a.origin + (j + 1) * a.period + hook.release_delay(id, j);
+                    if deadline > cutoff {
+                        break;
+                    }
+                    due += 1;
+                    j += 1;
+                }
+                // Jobs 0..a.job completed (late ones already counted as
+                // misses); due jobs beyond that never will.
+                self.fault_metrics.jobs_due += due;
+                self.fault_metrics.job_misses += due.saturating_sub(a.job);
+            }
+        }
+        self.fault_metrics
+    }
+
+    /// Whether processor `p` is fail-stopped in the slot being dispatched.
+    /// (`proc_down` is only ever written while a hook is installed, so this
+    /// is constant `false` on the fault-free path.)
+    fn is_down(&self, p: usize) -> bool {
+        self.proc_down[p]
+    }
+
     /// Simulates one slot; returns the processor → task assignment.
     pub fn step(&mut self) -> &[Option<TaskId>] {
         let t = self.now;
         self.now += 1;
         let m = self.proc_owner.len();
 
+        // Fault directives for this slot.
+        self.slot_faults.clear();
+        let mut live = m;
+        if let Some(hook) = &mut self.hook {
+            hook.slot_faults(t, m as u32, &mut self.slot_faults);
+            self.proc_down.iter_mut().for_each(|d| *d = false);
+            for &p in &self.slot_faults.down {
+                let p = p as usize;
+                if p < m && !self.proc_down[p] {
+                    self.proc_down[p] = true;
+                    live -= 1;
+                    self.fault_metrics.dead_proc_quanta += 1;
+                    self.obs.fault_dead.incr();
+                }
+            }
+        }
+
         self.chosen.clear();
         self.sched.tick(t, &mut self.chosen);
         self.obs.steps.incr();
+
+        // Fail-stopped processors can only honor the `live` highest-priority
+        // picks; the tail of `chosen` (lowest priority) is dropped for this
+        // slot. The recorded schedule keeps the scheduler's full decision.
+        let dispatchable = self.chosen.len().min(live);
+        let dropped = (self.chosen.len() - dispatchable) as u64;
+        if dropped > 0 {
+            self.fault_metrics.dropped_quanta += dropped;
+            self.obs.fault_dropped.add(dropped);
+        }
 
         // Dispatch with affinity: tasks that ran in slot t−1 and are chosen
         // again keep their processor.
         let dispatch_span = self.obs.dispatch_ns.start();
         self.assignment.iter_mut().for_each(|a| *a = None);
-        let mut pending: Vec<TaskId> = Vec::with_capacity(self.chosen.len());
-        for &id in &self.chosen {
+        let mut pending: Vec<TaskId> = Vec::with_capacity(dispatchable);
+        for &id in &self.chosen[..dispatchable] {
             match self.dispatch[id.index()].prev_proc {
-                Some(p) if self.assignment[p as usize].is_none() => {
+                Some(p) if !self.is_down(p as usize) && self.assignment[p as usize].is_none() => {
                     self.assignment[p as usize] = Some(id);
                 }
                 _ => pending.push(id),
@@ -252,12 +594,12 @@ impl<D: DelayModel> MultiSim<D> {
         for &id in &pending {
             let prefer = self.dispatch[id.index()].last_proc;
             let slot = match prefer {
-                Some(p) if self.assignment[p as usize].is_none() => p as usize,
-                _ => self
-                    .assignment
-                    .iter()
-                    .position(Option::is_none)
-                    .expect("scheduler never over-commits"),
+                Some(p) if !self.is_down(p as usize) && self.assignment[p as usize].is_none() => {
+                    p as usize
+                }
+                _ => (0..m)
+                    .find(|&i| self.assignment[i].is_none() && !self.is_down(i))
+                    .expect("dispatchable never exceeds live processors"),
             };
             self.assignment[slot] = Some(id);
         }
@@ -268,8 +610,13 @@ impl<D: DelayModel> MultiSim<D> {
         for (proc, slot) in self.assignment.iter().enumerate() {
             match slot {
                 None => {
-                    self.metrics.idle_quanta += 1;
-                    self.obs.idle_quanta.incr();
+                    if self.hook.is_some() && self.proc_down[proc] {
+                        // Fail-stopped: the quantum is lost, not idle; it
+                        // was counted under dead_proc_quanta above.
+                    } else {
+                        self.metrics.idle_quanta += 1;
+                        self.obs.idle_quanta.incr();
+                    }
                 }
                 Some(id) => {
                     scheduled_mask[id.index()] = true;
@@ -318,8 +665,72 @@ impl<D: DelayModel> MultiSim<D> {
             self.proc_owner[proc] = *slot;
         }
 
+        // Fault layer: map dispatched quanta to useful application work.
+        if let Some(hook) = &mut self.hook {
+            for (proc, slot) in self.assignment.iter().enumerate() {
+                let Some(id) = slot else { continue };
+                if self.slot_faults.wasted.contains(&(proc as u32)) {
+                    self.fault_metrics.wasted_quanta += 1;
+                    self.obs.fault_wasted.incr();
+                    continue;
+                }
+                let a = &mut self.app[id.index()];
+                if t < a.arrival {
+                    // Current job not yet arrived (ERfair ran ahead): the
+                    // quantum carries no application work.
+                    continue;
+                }
+                a.useful_total += 1;
+                a.done += 1;
+                if a.done == a.needed && !a.overrun_applied {
+                    a.overrun_applied = true;
+                    let extra = hook.overrun(*id, a.job);
+                    if extra > 0 {
+                        a.needed += extra;
+                        self.fault_metrics.overruns += 1;
+                        self.fault_metrics.overrun_quanta += extra;
+                        self.obs.fault_overruns.incr();
+                    }
+                }
+                if a.done >= a.needed {
+                    // Job complete at time t+1; its application deadline is
+                    // one period past its (possibly burst-delayed) arrival.
+                    let deadline =
+                        a.origin + (a.job + 1) * a.period + hook.release_delay(*id, a.job);
+                    self.fault_metrics.jobs_completed += 1;
+                    if t + 1 > deadline {
+                        self.fault_metrics.job_misses += 1;
+                        self.fault_metrics.max_tardiness =
+                            self.fault_metrics.max_tardiness.max(t + 1 - deadline);
+                        self.obs.fault_job_misses.incr();
+                    }
+                    a.job += 1;
+                    a.done = 0;
+                    a.needed = a.exec;
+                    a.overrun_applied = false;
+                    a.arrival = a.origin + a.job * a.period + hook.release_delay(*id, a.job);
+                }
+            }
+            // Per-slot application lag and its running maximum (the
+            // overload signal).
+            let mut max_lag = f64::NEG_INFINITY;
+            for (i, a) in self.app.iter().enumerate() {
+                if a.retired_at.is_some() || !self.sched.is_active(TaskId(i as u32)) {
+                    continue;
+                }
+                let elapsed = (t + 1).saturating_sub(a.origin) as f64;
+                let lag = a.weight_f * elapsed - a.useful_total as f64;
+                max_lag = max_lag.max(lag);
+            }
+            if max_lag == f64::NEG_INFINITY {
+                max_lag = 0.0;
+            }
+            self.last_max_lag = max_lag;
+            self.fault_metrics.max_app_lag = self.fault_metrics.max_app_lag.max(max_lag);
+        }
+
         self.metrics.slots += 1;
-        debug_assert!(self.assignment.iter().flatten().count() == self.chosen.len());
+        debug_assert!(self.assignment.iter().flatten().count() == dispatchable);
         debug_assert!(self.chosen.len() <= m);
 
         if let Some(rec) = &mut self.record {
@@ -451,5 +862,158 @@ mod tests {
         let sched = sim.schedule().unwrap();
         let total: usize = sched.iter().map(Vec::len).sum();
         assert_eq!(total as u64, m.allocated_quanta);
+    }
+
+    /// Scripted hook for the fault-layer tests.
+    #[derive(Default)]
+    struct ScriptHook {
+        /// slot → processors down.
+        down: std::collections::HashMap<Slot, Vec<u32>>,
+        /// slot → processors wasted.
+        wasted: std::collections::HashMap<Slot, Vec<u32>>,
+        /// (task, job) → extra quanta.
+        overruns: std::collections::HashMap<(TaskId, u64), u64>,
+    }
+
+    impl FaultHook for ScriptHook {
+        fn slot_faults(&mut self, t: Slot, _m: u32, out: &mut SlotFaults) {
+            if let Some(d) = self.down.get(&t) {
+                out.down.extend_from_slice(d);
+            }
+            if let Some(w) = self.wasted.get(&t) {
+                out.wasted.extend_from_slice(w);
+            }
+        }
+        fn overrun(&mut self, task: TaskId, job: u64) -> u64 {
+            self.overruns.get(&(task, job)).copied().unwrap_or(0)
+        }
+    }
+
+    /// A hook that injects nothing leaves the run byte-identical to a
+    /// hook-free run (the acceptance criterion; the exhaustive property
+    /// test lives in the `faults` crate).
+    #[test]
+    fn inert_hook_changes_nothing() {
+        let set = ts(&[(8, 11), (1, 3), (2, 5), (5, 7)]);
+        let m = set.min_processors();
+        let horizon = 2 * set.hyperperiod();
+
+        let mut plain = MultiSim::new(&set, SchedConfig::pd2(m));
+        plain.record_schedule();
+        let pm = plain.run(horizon);
+
+        let mut hooked = MultiSim::new(&set, SchedConfig::pd2(m));
+        hooked.record_schedule();
+        hooked.set_fault_hook(Box::new(ScriptHook::default()));
+        let hm = hooked.run(horizon);
+
+        assert_eq!(pm, hm);
+        assert_eq!(plain.schedule().unwrap(), hooked.schedule().unwrap());
+        let fm = hooked.fault_metrics();
+        assert_eq!(
+            fm.wasted_quanta + fm.dropped_quanta + fm.dead_proc_quanta,
+            0
+        );
+        // Fault-free application lag respects the Pfair bound.
+        assert!(fm.max_app_lag < 1.0 + 1e-9, "lag {}", fm.max_app_lag);
+    }
+
+    /// A wasted quantum produces no useful work: job completion slips and
+    /// the job is eventually counted late.
+    #[test]
+    fn wasted_quantum_delays_job_completion() {
+        // One weight-1 task alone on one processor: every slot is its.
+        let set = ts(&[(1, 1)]);
+        let mut hook = ScriptHook::default();
+        hook.wasted.insert(0, vec![0]);
+        let mut sim = MultiSim::new(&set, SchedConfig::pd2(1));
+        sim.set_fault_hook(Box::new(hook));
+        sim.run(10);
+        let fm = sim.finalize_faults();
+        assert_eq!(fm.wasted_quanta, 1);
+        // 10 slots, 1 wasted → 9 jobs done, 10 due, every completion late
+        // by one slot after the fault.
+        assert_eq!(fm.jobs_completed, 9);
+        assert_eq!(fm.jobs_due, 10);
+        assert_eq!(fm.job_misses, 10);
+        assert_eq!(fm.max_tardiness, 1);
+        // RunMetrics stay the scheduler's view: all 10 quanta allocated.
+        assert_eq!(sim.metrics().allocated_quanta, 10);
+    }
+
+    /// Fail-stop: the dead processor's quantum is lost and the
+    /// lowest-priority pick is dropped; the scheduler's view is unchanged.
+    #[test]
+    fn fail_stop_drops_lowest_priority_pick() {
+        let set = ts(&[(2, 3), (2, 3), (2, 3)]);
+        let mut hook = ScriptHook::default();
+        hook.down.insert(4, vec![1]);
+        let mut sim = MultiSim::new(&set, SchedConfig::pd2(2));
+        sim.record_schedule();
+        sim.set_fault_hook(Box::new(hook));
+        sim.run(30);
+        let fm = sim.fault_metrics();
+        assert_eq!(fm.dead_proc_quanta, 1);
+        assert_eq!(fm.dropped_quanta, 1);
+        // The recorded schedule still shows both picks in slot 4 (full
+        // utilization: two tasks per slot).
+        assert_eq!(sim.schedule().unwrap()[4].len(), 2);
+        // One task is now one useful quantum behind for good: plain Pfair
+        // gives it no spare slots, so its app lag reaches the lost quantum
+        // (sched lag + 1) and every later job of the victim completes late.
+        let fin = sim.finalize_faults();
+        assert!(fin.max_app_lag >= 1.0 - 1e-9, "lag {}", fin.max_app_lag);
+        assert!(fin.job_misses > 0);
+    }
+
+    /// An overrunning job demands extra useful quanta before completing.
+    #[test]
+    fn overrun_extends_job_demand() {
+        let set = ts(&[(2, 4)]);
+        let mut hook = ScriptHook::default();
+        hook.overruns.insert((TaskId(0), 0), 2);
+        let mut sim = MultiSim::new(&set, SchedConfig::pd2(1));
+        sim.scheduler_mut()
+            .set_early_release(pfair_core::EarlyRelease::Unrestricted);
+        sim.set_fault_hook(Box::new(hook));
+        sim.run(40);
+        let fm = sim.finalize_faults();
+        assert_eq!(fm.overruns, 1);
+        assert_eq!(fm.overrun_quanta, 2);
+        // With unrestricted ER the task runs every slot, so job 0's four
+        // quanta (2 + 2 overrun) finish at t+1 = 4 — exactly its deadline.
+        // Later jobs arrive on their period and complete on time; the
+        // arrival gate keeps the engine from running jobs early, so
+        // exactly the 10 due jobs complete.
+        assert_eq!(fm.job_misses, 0);
+        assert_eq!(fm.jobs_due, 10);
+        assert_eq!(fm.jobs_completed, 10);
+    }
+
+    /// Dynamic registration: a task joined mid-run is dispatched and
+    /// tracked; retirement stops its due-job clock.
+    #[test]
+    fn register_and_retire_round_trip() {
+        let set = ts(&[(1, 2)]);
+        let mut sim = MultiSim::new(&set, SchedConfig::pd2(1));
+        sim.set_fault_hook(Box::new(ScriptHook::default()));
+        for _ in 0..4 {
+            sim.step();
+        }
+        let task = pfair_model::Task::new(1, 4).unwrap();
+        let id = sim.scheduler_mut().join(task, 4).unwrap();
+        sim.register_task(id, task);
+        for _ in 4..12 {
+            sim.step();
+        }
+        sim.scheduler_mut().leave(id, 12).unwrap();
+        sim.retire_task(id, 12);
+        for _ in 12..20 {
+            sim.step();
+        }
+        let fm = sim.finalize_faults();
+        // Joiner was live for slots 4..12: exactly 2 jobs due, both done.
+        assert_eq!(fm.jobs_due, 10 + 2);
+        assert_eq!(fm.job_misses, 0);
     }
 }

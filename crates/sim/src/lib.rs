@@ -25,10 +25,10 @@ pub mod trace;
 pub mod verify;
 pub mod wrr;
 
-pub use engine::{MultiSim, RunMetrics};
+pub use engine::{FaultHook, FaultMetrics, MultiSim, RunMetrics, SlotFaults};
 pub use global_edf::GlobalEdfSim;
 pub use partitioned::{PartitionedSim, PartitionedStats};
 pub use render::{render_schedule, render_task_windows};
-pub use trace::ScheduleTrace;
-pub use verify::{check_windows, WindowViolation};
+pub use trace::{NotRecordingError, ScheduleTrace};
+pub use verify::{check_windows, IncrementalWindowCheck, WindowViolation};
 pub use wrr::{WrrSim, WrrStats};

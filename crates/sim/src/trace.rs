@@ -9,6 +9,23 @@
 use crate::engine::{MultiSim, RunMetrics};
 use pfair_model::{Task, TaskId, TaskSet};
 use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Error from [`ScheduleTrace::capture`]: the simulator was not recording.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NotRecordingError;
+
+impl fmt::Display for NotRecordingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "trace capture requires schedule recording: call MultiSim::record_schedule() \
+             before running the simulation"
+        )
+    }
+}
+
+impl std::error::Error for NotRecordingError {}
 
 /// A serializable record of one simulated schedule.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -57,17 +74,15 @@ impl From<RunMetrics> for TraceMetrics {
 }
 
 impl ScheduleTrace {
-    /// Captures a trace from a recording [`MultiSim`].
-    ///
-    /// # Panics
-    ///
-    /// Panics if the simulator was not recording
-    /// ([`MultiSim::record_schedule`]).
-    pub fn capture<D: pfair_core::DelayModel>(tasks: &TaskSet, sim: &MultiSim<D>) -> Self {
-        let schedule = sim
-            .schedule()
-            .expect("trace capture requires record_schedule()");
-        ScheduleTrace {
+    /// Captures a trace from a recording [`MultiSim`]. Fails with
+    /// [`NotRecordingError`] if [`MultiSim::record_schedule`] was never
+    /// enabled.
+    pub fn capture<D: pfair_core::DelayModel>(
+        tasks: &TaskSet,
+        sim: &MultiSim<D>,
+    ) -> Result<Self, NotRecordingError> {
+        let schedule = sim.schedule().ok_or(NotRecordingError)?;
+        Ok(ScheduleTrace {
             processors: sim.scheduler().processors(),
             tasks: tasks.iter().map(|(_, t)| (t.exec, t.period)).collect(),
             slots: schedule
@@ -75,7 +90,7 @@ impl ScheduleTrace {
                 .map(|s| s.iter().map(|id| id.0).collect())
                 .collect(),
             metrics: sim.metrics().into(),
-        }
+        })
     }
 
     /// Serializes to pretty JSON.
@@ -126,8 +141,17 @@ mod tests {
         let mut sim = MultiSim::new(&tasks, SchedConfig::pd2(2));
         sim.record_schedule();
         sim.run(30);
-        let trace = ScheduleTrace::capture(&tasks, &sim);
+        let trace = ScheduleTrace::capture(&tasks, &sim).unwrap();
         (tasks, trace)
+    }
+
+    #[test]
+    fn capture_without_recording_is_an_error() {
+        let tasks = TaskSet::from_pairs([(1u64, 2u64)]).unwrap();
+        let mut sim = MultiSim::new(&tasks, SchedConfig::pd2(1));
+        sim.run(4);
+        let err = ScheduleTrace::capture(&tasks, &sim).unwrap_err();
+        assert!(err.to_string().contains("record_schedule"));
     }
 
     #[test]

@@ -40,13 +40,54 @@ impl fmt::Display for WindowViolation {
 /// allocation of each task must fall within `[r(T_k), d(T_k))`. Returns the
 /// first violation.
 pub fn check_windows(tasks: &TaskSet, schedule: &[Vec<TaskId>]) -> Result<(), WindowViolation> {
-    let mut counts = vec![0u64; tasks.len()];
-    for (t, slot_tasks) in schedule.iter().enumerate() {
-        let t = t as Slot;
+    let mut check = IncrementalWindowCheck::new(tasks);
+    for slot_tasks in schedule {
+        check.observe_slot(slot_tasks)?;
+    }
+    Ok(())
+}
+
+/// Online version of [`check_windows`]: feed it each slot's scheduled
+/// tasks as the simulation produces them and it reports the first window
+/// violation immediately, without retaining the schedule. Used by the
+/// fault-injection runner as an invariant watchdog — with fault injection
+/// confined to the *execution* of quanta (never the scheduler's decision),
+/// a plain-Pfair schedule of a synchronous periodic set must stay
+/// window-containing even while faults rage.
+///
+/// Task ids outside the initial set (dynamically joined tasks) are
+/// ignored: their windows are offset by their join slot, which this check
+/// does not model. It is likewise only meaningful under
+/// [`EarlyRelease::None`](pfair_core::EarlyRelease) and without IS delays,
+/// both of which legitimately move allocations outside the synchronous
+/// windows.
+#[derive(Debug, Clone)]
+pub struct IncrementalWindowCheck {
+    weights: Vec<pfair_model::Weight>,
+    counts: Vec<u64>,
+    now: Slot,
+}
+
+impl IncrementalWindowCheck {
+    /// A checker for the given (initial) task set.
+    pub fn new(tasks: &TaskSet) -> Self {
+        IncrementalWindowCheck {
+            weights: tasks.iter().map(|(_, t)| t.weight()).collect(),
+            counts: vec![0u64; tasks.len()],
+            now: 0,
+        }
+    }
+
+    /// Observes the scheduler's picks for the next slot.
+    pub fn observe_slot(&mut self, slot_tasks: &[TaskId]) -> Result<(), WindowViolation> {
+        let t = self.now;
+        self.now += 1;
         for &id in slot_tasks {
-            counts[id.index()] += 1;
-            let k = counts[id.index()];
-            let w = tasks.task(id).weight();
+            let Some(&w) = self.weights.get(id.index()) else {
+                continue; // dynamically joined: windows not modeled
+            };
+            self.counts[id.index()] += 1;
+            let k = self.counts[id.index()];
             let r = subtask::release(w, k);
             let d = subtask::deadline(w, k);
             if t < r || t >= d {
@@ -59,8 +100,13 @@ pub fn check_windows(tasks: &TaskSet, schedule: &[Vec<TaskId>]) -> Result<(), Wi
                 });
             }
         }
+        Ok(())
     }
-    Ok(())
+
+    /// Slots observed so far.
+    pub fn slots_seen(&self) -> Slot {
+        self.now
+    }
 }
 
 #[cfg(test)]
@@ -83,6 +129,33 @@ mod tests {
         sim.record_schedule();
         sim.run(30);
         assert_eq!(check_windows(&set, sim.schedule().unwrap()), Ok(()));
+    }
+
+    /// The incremental checker agrees with the batch checker slot for slot
+    /// and ignores unknown (dynamically joined) ids.
+    #[test]
+    fn incremental_check_matches_batch() {
+        let set = ts(&[(2, 3), (1, 2), (3, 7)]);
+        let m = set.min_processors();
+        let mut sim = MultiSim::new(&set, SchedConfig::pd2(m));
+        sim.record_schedule();
+        sim.run(2 * set.hyperperiod());
+        let schedule = sim.schedule().unwrap();
+
+        let mut inc = IncrementalWindowCheck::new(&set);
+        for slot in schedule {
+            assert_eq!(inc.observe_slot(slot), Ok(()));
+        }
+        assert_eq!(inc.slots_seen(), 2 * set.hyperperiod());
+
+        // A violation surfaces on exactly the offending slot…
+        let mut inc = IncrementalWindowCheck::new(&ts(&[(1, 4)]));
+        assert_eq!(inc.observe_slot(&[TaskId(0)]), Ok(()));
+        let v = inc.observe_slot(&[TaskId(0)]).unwrap_err();
+        assert_eq!((v.index, v.slot), (2, 1));
+        // …and unknown ids are skipped rather than panicking.
+        let mut inc = IncrementalWindowCheck::new(&ts(&[(1, 4)]));
+        assert_eq!(inc.observe_slot(&[TaskId(7)]), Ok(()));
     }
 
     #[test]

@@ -1,0 +1,86 @@
+//! Crash-tolerance smoke test (CI gate): a checkpointed `fig3` sweep that
+//! is killed after its first point must, on rerun, produce output
+//! byte-identical to an uninterrupted run — and a checkpoint written under
+//! one configuration must be refused by another.
+//!
+//! Exercises the full binary surface via `CARGO_BIN_EXE_fig3`: exit code 3
+//! on the simulated crash, "restored from checkpoint" progress lines on
+//! resume, exit code 2 on config mismatch.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+const ARGS: [&str; 9] = [
+    "--tasks", "8", "--sets", "2", "--points", "3", "--seed", "3", "--csv",
+];
+
+fn fig3(extra: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_fig3"))
+        .args(ARGS)
+        .args(extra)
+        .output()
+        .expect("failed to spawn fig3")
+}
+
+fn temp_path(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("pfair-resume-{}-{tag}.json", std::process::id()))
+}
+
+#[test]
+fn killed_sweep_resumes_to_identical_output() {
+    let ck = temp_path("smoke");
+    let _ = std::fs::remove_file(&ck);
+    let ck_str = ck.to_str().unwrap();
+
+    // Reference: the same sweep, uninterrupted and uncheckpointed.
+    let reference = fig3(&[]);
+    assert!(reference.status.success(), "uninterrupted run failed");
+    let expected = String::from_utf8(reference.stdout).unwrap();
+    assert_eq!(
+        expected.lines().count(),
+        1 + 3,
+        "header + one row per point"
+    );
+
+    // Crash after the first fresh point: exit code 3, checkpoint on disk.
+    let crashed = fig3(&["--checkpoint", ck_str, "--fail-after", "1"]);
+    assert_eq!(
+        crashed.status.code(),
+        Some(3),
+        "stderr: {}",
+        String::from_utf8_lossy(&crashed.stderr)
+    );
+    assert!(ck.exists(), "crash must leave a checkpoint behind");
+
+    // Resume: completed points replay from the checkpoint, the rest run
+    // fresh, and stdout matches the uninterrupted run byte for byte.
+    let resumed = fig3(&["--checkpoint", ck_str]);
+    assert!(
+        resumed.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&resumed.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&resumed.stderr);
+    assert!(
+        stderr.contains("restored from checkpoint"),
+        "resume must replay the completed point: {stderr}"
+    );
+    assert_eq!(String::from_utf8(resumed.stdout).unwrap(), expected);
+
+    // A checkpoint written under one configuration is refused by another.
+    let mismatched = Command::new(env!("CARGO_BIN_EXE_fig3"))
+        .args([
+            "--tasks", "9", "--sets", "2", "--points", "3", "--seed", "3",
+        ])
+        .args(["--checkpoint", ck_str])
+        .output()
+        .expect("failed to spawn fig3");
+    assert_eq!(
+        mismatched.status.code(),
+        Some(2),
+        "stderr: {}",
+        String::from_utf8_lossy(&mismatched.stderr)
+    );
+
+    let _ = std::fs::remove_file(&ck);
+}
