@@ -4,6 +4,7 @@
 //! ```text
 //! cargo run --release -p experiments --bin faults -- [--tasks 10] [--util 2.5] \
 //!     [--sets 20] [--horizon 2000] [--seed 1] [--recovery none|shed|catchup|full] \
+//!     [--trace ft.json] [--trace-kind failstop] [--trace-level 0.25] \
 //!     [--csv] [--metrics-out m.json] [--checkpoint ck.json] [--point-retries 1] [--fail-after N]
 //! ```
 //!
@@ -19,11 +20,19 @@
 //! - recovery interventions (tasks shed, ERfair catch-up trips) when
 //!   `--recovery` is not `none`.
 //!
+//! Every PD² run is window-verified online against its event-adjusted
+//! Pfair windows (see `faults::run_pd2`); violations land in the
+//! `faults.window_violations` metric. With `--trace <file>`, one
+//! representative faulted run (`--trace-kind` at `--trace-level`, same
+//! recovery policy) is additionally captured as a schema-v2 JSON trace —
+//! fault and recovery events included — that `verify_trace` can re-check
+//! offline.
+//!
 //! Exit codes: 0 success, 2 usage/checkpoint error, 3 simulated crash
 //! (`--fail-after`).
 
 use experiments::{recorder, write_metrics, Args, SweepRunner};
-use faults::{run_edf, run_pd2, FaultConfig, RecoveryPolicy};
+use faults::{run_edf, run_pd2, run_pd2_traced, FaultConfig, RecoveryPolicy};
 use stats::{Table, Welford};
 use workload::TaskSetGenerator;
 
@@ -93,6 +102,39 @@ fn main() {
     let violations = rec.counter("faults.window_violations");
 
     eprintln!("faults: N={n}, U={util}, {sets} sets per point, recovery={recovery}");
+
+    if let Some(tpath) = args.get("trace").map(str::to_string) {
+        let kind: String = args.get_or("trace-kind", "failstop".to_string());
+        let level: f64 = args.get_or("trace-level", 0.25);
+        if kind != "none" && !KINDS.contains(&kind.as_str()) {
+            eprintln!("faults: --trace-kind {kind}: expected none|loss|overrun|failstop|burst");
+            std::process::exit(2);
+        }
+        let mut gen = TaskSetGenerator::new(n, util, seed);
+        let tasks = match gen.generate().to_quantum_tasks(1_000) {
+            Ok(tasks) => tasks,
+            Err(e) => {
+                eprintln!("faults: cannot build a traceable task set: {e}");
+                std::process::exit(2);
+            }
+        };
+        let m = tasks.min_processors();
+        let cfg = config_for(&kind, level, seed);
+        let (out, trace) = run_pd2_traced(&tasks, m, cfg, policy, horizon);
+        if let Some(v) = out.window_violation {
+            violations.incr();
+            eprintln!("faults: Pfair window violation in the traced run: {v:?}");
+        }
+        if let Err(e) = std::fs::write(&tpath, trace.to_json()) {
+            eprintln!("faults: cannot write trace to {tpath}: {e}");
+            std::process::exit(2);
+        }
+        eprintln!(
+            "faults: traced {kind}@{level:.2} run ({} slots, {} events) written to {tpath}",
+            trace.slots.len(),
+            trace.events.len()
+        );
+    }
     let mut runner = SweepRunner::new(
         &args,
         "faults",
@@ -143,7 +185,7 @@ fn main() {
                 }
                 if let Some(v) = out.window_violation {
                     violations.incr();
-                    eprintln!("faults: Pfair window violation in a checkable run: {v:?}");
+                    eprintln!("faults: Pfair window violation: {v:?}");
                 }
                 match run_edf(&tasks, m, cfg, horizon) {
                     Some(fm) => {

@@ -240,10 +240,24 @@ fn load_state(path: &Path) -> Result<CheckpointState, CheckpointError> {
 }
 
 fn save_state(path: &Path, state: &CheckpointState) -> Result<(), CheckpointError> {
+    use std::io::Write;
     let text =
         serde_json::to_string_pretty(state).map_err(|e| CheckpointError::Io(e.to_string()))?;
-    let tmp = path.with_extension("tmp");
-    std::fs::write(&tmp, text).map_err(|e| CheckpointError::Io(format!("{tmp:?}: {e}")))?;
+    // Append `.tmp` to the *full* file name: `with_extension` would
+    // replace the extension, so `fig3.json` and `fig3.csv` checkpoints
+    // in one directory would fight over a single `fig3.tmp`.
+    let mut tmp_name = path.as_os_str().to_os_string();
+    tmp_name.push(".tmp");
+    let tmp = PathBuf::from(tmp_name);
+    let mut file =
+        std::fs::File::create(&tmp).map_err(|e| CheckpointError::Io(format!("{tmp:?}: {e}")))?;
+    file.write_all(text.as_bytes())
+        .map_err(|e| CheckpointError::Io(format!("{tmp:?}: {e}")))?;
+    // Flush to stable storage before the rename publishes the file — a
+    // crash must never leave the checkpoint pointing at unwritten data.
+    file.sync_all()
+        .map_err(|e| CheckpointError::Io(format!("{tmp:?}: {e}")))?;
+    drop(file);
     std::fs::rename(&tmp, path).map_err(|e| CheckpointError::Io(format!("{path:?}: {e}")))
 }
 
@@ -288,6 +302,35 @@ mod tests {
         assert_eq!(r2.cached_points(), 1);
         assert_eq!(r2.fresh_points(), 0);
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn temp_file_name_appends_to_the_full_file_name() {
+        let path = temp_path("appendtmp"); // …appendtmp.json
+        let sibling = path.with_extension("tmp");
+        // The sibling is what `with_extension("tmp")` naming would clobber
+        // (exactly what a same-stem `.csv` checkpoint's temp file is).
+        std::fs::write(&sibling, "precious").unwrap();
+        let state = CheckpointState {
+            binary: "figX".into(),
+            config: "n=5".into(),
+            completed: Vec::new(),
+        };
+        save_state(&path, &state).unwrap();
+        assert_eq!(
+            std::fs::read_to_string(&sibling).unwrap(),
+            "precious",
+            "temp naming must not collide with same-stem files"
+        );
+        let mut tmp_name = path.as_os_str().to_os_string();
+        tmp_name.push(".tmp");
+        assert!(
+            !PathBuf::from(tmp_name).exists(),
+            "temp file must be renamed away"
+        );
+        assert_eq!(load_state(&path).unwrap(), state);
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(&sibling);
     }
 
     #[test]

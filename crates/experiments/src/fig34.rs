@@ -23,7 +23,9 @@
 //!   starts-near-zero-and-grows shape.
 
 use overhead::{pd2_processors_required, InflateError, OverheadParams};
-use partition::{partition_unbounded_observed, Acceptance, EdfOverheadAware, Heuristic, SortOrder};
+use partition::{
+    partition_unbounded_with_obs, Acceptance, EdfOverheadAware, Heuristic, PartitionObs, SortOrder,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use stats::Welford;
@@ -49,9 +51,10 @@ pub struct SchedPoint {
     /// Sets where EDF-FF could not place some task even alone (rare).
     pub edf_failures: usize,
     /// Sets whose processing panicked. Each panic is caught per set, so
-    /// the rest of the point survives; any statistics the set pushed
-    /// before panicking remain in the accumulators, so treat a nonzero
-    /// count as a bug report, not a clean exclusion.
+    /// the rest of the point survives; a panicking set's partial
+    /// statistics are discarded (each set accumulates into a scratch
+    /// point merged only on success), so the aggregates contain whole
+    /// sets only. Still treat a nonzero count as a bug report.
     pub worker_panics: usize,
 }
 
@@ -116,6 +119,7 @@ pub fn run_point_observed(
     let pd2_failures = rec.counter("fig34.pd2_failures");
     let edf_failures = rec.counter("fig34.edf_failures");
     let worker_panics = rec.counter("fig34.worker_panics");
+    let pobs = PartitionObs::new(rec);
     let merged = std::sync::Mutex::new(SchedPoint {
         total_util,
         ..SchedPoint::default()
@@ -133,20 +137,27 @@ pub fn run_point_observed(
                     let _span = set_ns.start();
                     // A panic on one pathological set becomes a counted,
                     // per-set failure instead of poisoning the whole
-                    // point: the worker keeps draining the queue and its
-                    // partial aggregates still merge.
+                    // point: the worker keeps draining the queue. Each
+                    // set fills its own scratch point, merged only on
+                    // success, so a mid-set panic cannot leak partial
+                    // Welford samples into the aggregates.
                     let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                        run_one_set(n, total_util, s, seed, params, dist, rec, &mut local);
+                        let mut scratch = SchedPoint::default();
+                        run_one_set(n, total_util, s, seed, params, dist, &pobs, &mut scratch);
+                        scratch
                     }));
-                    if let Err(payload) = outcome {
-                        local.worker_panics += 1;
-                        worker_panics.incr();
-                        let msg = payload
-                            .downcast_ref::<String>()
-                            .map(String::as_str)
-                            .or_else(|| payload.downcast_ref::<&str>().copied())
-                            .unwrap_or("<non-string panic payload>");
-                        eprintln!("fig34: set {s} at U={total_util:.2} panicked: {msg}");
+                    match outcome {
+                        Ok(scratch) => local.merge(&scratch),
+                        Err(payload) => {
+                            local.worker_panics += 1;
+                            worker_panics.incr();
+                            let msg = payload
+                                .downcast_ref::<String>()
+                                .map(String::as_str)
+                                .or_else(|| payload.downcast_ref::<&str>().copied())
+                                .unwrap_or("<non-string panic payload>");
+                            eprintln!("fig34: set {s} at U={total_util:.2} panicked: {msg}");
+                        }
                     }
                     sets_done.incr();
                 }
@@ -173,7 +184,8 @@ pub fn run_point_observed(
         .unwrap_or_else(std::sync::PoisonError::into_inner)
 }
 
-/// Processes a single random task set into `point`.
+/// Processes a single random task set into `point` (a per-set scratch
+/// accumulator; the caller merges it only if this returns normally).
 #[allow(clippy::too_many_arguments)]
 fn run_one_set(
     n: usize,
@@ -182,7 +194,7 @@ fn run_one_set(
     seed: u64,
     params: &OverheadParams,
     dist: CacheDelayDist,
-    rec: &obs::Recorder,
+    pobs: &PartitionObs,
     point: &mut SchedPoint,
 ) {
     // Per-set RNG so results are independent of thread scheduling.
@@ -220,13 +232,13 @@ fn run_one_set(
         // --- EDF-FF (decreasing periods, overhead-aware) ---
         let acc = EdfOverheadAware::new(&tasks, &d, *params);
         let keys = |i: usize| (tasks[i].utilization(), tasks[i].period_us);
-        match partition_unbounded_observed(
+        match partition_unbounded_with_obs(
             n,
             &acc,
             Heuristic::FirstFit,
             SortOrder::DecreasingPeriod,
             keys,
-            rec,
+            pobs,
         ) {
             Some(result) => {
                 let m_edf = result.processors;

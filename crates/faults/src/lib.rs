@@ -16,8 +16,12 @@
 //!   [`LagWatchdog`](pfair_core::LagWatchdog).
 //! * [`edf`] — [`QuantumEdfSim`]: partitioned EDF (first-fit decreasing)
 //!   under the *same* fault plan, for PD²-vs-EDF degradation tables.
-//! * [`runner`] — [`run_pd2`] / [`run_edf`]: one-call degradation runs
-//!   returning comparable [`FaultMetrics`](sched_sim::FaultMetrics).
+//! * [`runner`] — [`run_pd2`] / [`run_pd2_traced`] / [`run_edf`]:
+//!   one-call degradation runs returning comparable
+//!   [`FaultMetrics`](sched_sim::FaultMetrics), every PD² run verified
+//!   against its event-adjusted Pfair windows (and, traced, re-verifiable
+//!   offline from the captured
+//!   [`ScheduleTrace`](sched_sim::ScheduleTrace)).
 //!
 //! Determinism contract: every fault decision is a hash of the seed and
 //! the decision's coordinates, never of simulation history. Two
@@ -38,4 +42,4 @@ pub mod runner;
 pub use edf::{PartitionError, QuantumEdfSim};
 pub use plan::{FaultConfig, FaultPlan, PlanDelays};
 pub use recovery::{run_with_recovery, RecoveryController, RecoveryPolicy, RecoveryStats};
-pub use runner::{run_edf, run_pd2, DegradationOutcome};
+pub use runner::{run_edf, run_pd2, run_pd2_traced, DegradationOutcome};

@@ -12,7 +12,7 @@
 use pfair_core::sched::DelayModel;
 use pfair_core::subtask::SubtaskIndex;
 use pfair_model::{Slot, TaskId, TaskSet};
-use sched_sim::{FaultHook, SlotFaults};
+use sched_sim::{FaultHook, SlotFaults, TraceEvent};
 
 /// Fault intensity knobs. All faults are off by default; rates are
 /// probabilities in `[0, 1]`.
@@ -169,6 +169,32 @@ impl FaultPlan {
         let mut downs = Vec::new();
         self.downs_at(t, m, &mut downs);
         downs.len() as u32
+    }
+
+    /// Every non-zero burst draw that can matter within a `horizon`-slot
+    /// run of `tasks`, as [`TraceEvent::Burst`] records for the trace /
+    /// the event-aware window checker. The scheduler queues at most one
+    /// subtask of a task per slot, so job `j` of a task with execution
+    /// requirement `e` (first subtask index `j·e + 1`) cannot be reached
+    /// before slot `j·e`; jobs beyond `horizon / e + 1` never surface.
+    pub fn burst_events(&self, tasks: &TaskSet, horizon: Slot) -> Vec<TraceEvent> {
+        let mut out = Vec::new();
+        if self.cfg.burst_rate <= 0.0 || self.cfg.burst_max == 0 {
+            return out;
+        }
+        for (id, task) in tasks.iter() {
+            for job in 1..=horizon / task.exec + 1 {
+                let delay = self.burst_delay(id, job);
+                if delay > 0 {
+                    out.push(TraceEvent::Burst {
+                        task: id.0,
+                        job,
+                        delay,
+                    });
+                }
+            }
+        }
+        out
     }
 
     /// The arrival-burst side of the plan as a scheduler [`DelayModel`],
@@ -366,6 +392,31 @@ mod tests {
             prev = c;
         }
         assert!(any, "a 0.5 burst rate must delay something in 50 jobs");
+    }
+
+    #[test]
+    fn burst_events_enumerate_the_plan_draws() {
+        let cfg = FaultConfig {
+            burst_rate: 0.4,
+            burst_max: 2,
+            ..FaultConfig::none(11)
+        };
+        let plan = FaultPlan::new(cfg);
+        let tasks = TaskSet::from_pairs([(2u64, 6u64), (1, 4)]).unwrap();
+        let events = plan.burst_events(&tasks, 40);
+        assert!(!events.is_empty(), "0.4 rate over 40 slots must burst");
+        for ev in &events {
+            let TraceEvent::Burst { task, job, delay } = *ev else {
+                panic!("burst_events emitted {ev:?}");
+            };
+            assert!(delay > 0);
+            assert_eq!(delay, plan.burst_delay(TaskId(task), job));
+            let exec = tasks.iter().nth(task as usize).unwrap().1.exec;
+            assert!(job <= 40 / exec + 1, "job {job} unreachable in 40 slots");
+        }
+        // A zero-rate plan has no burst record.
+        let quiet = FaultPlan::new(FaultConfig::none(11));
+        assert!(quiet.burst_events(&tasks, 40).is_empty());
     }
 
     #[test]

@@ -1,9 +1,11 @@
 //! Overload recovery driven by a [`FaultPlan`].
 //!
-//! The [`RecoveryController`] sits *beside* the simulator: once per slot,
-//! before [`MultiSim::step`], it recomputes the plan's fail-stop capacity
-//! (clones of a plan agree on every draw, so its view matches what the
-//! simulator will experience) and applies the configured
+//! The [`RecoveryController`] is a [`RecoveryHook`]: installed via
+//! [`MultiSim::set_recovery_hook`], it runs at the top of every
+//! [`MultiSim::step`] — the slot boundary, where `join`/`leave`/capacity
+//! changes are legal. Once per slot it recomputes the plan's fail-stop
+//! capacity (clones of a plan agree on every draw, so its view matches
+//! what the simulator will experience) and applies the configured
 //! [`RecoveryPolicy`]:
 //!
 //! * **capacity tracking** —
@@ -20,6 +22,11 @@
 //!   application lag trips into [`EarlyRelease::Unrestricted`]; the
 //!   backlog is *drained* once lag falls back under the low-water mark.
 //!
+//! Every intervention is recorded through [`MultiSim::push_event`] (a
+//! no-op unless [`MultiSim::record_events`] is enabled), so traces of
+//! recovered runs carry the shed/rejoin/catch-up/capacity record the
+//! event-aware verifier needs.
+//!
 //! Catch-up is **sticky**: the eligibility rule is never restored to
 //! plain Pfair. The scheduler is fault-oblivious — lost quanta advance
 //! its subtask positions without doing application work, so after a fault
@@ -32,7 +39,7 @@
 
 use pfair_core::{plan_shedding, DelayModel, EarlyRelease, LagWatchdog};
 use pfair_model::{Slot, Task, TaskId};
-use sched_sim::MultiSim;
+use sched_sim::{MultiSim, RecoveryHook, TraceEvent};
 
 use crate::plan::FaultPlan;
 
@@ -159,9 +166,11 @@ impl RecoveryController {
         self.engaged
     }
 
-    /// Applies the policy for slot `t`. Must be called *before*
-    /// [`MultiSim::step`] for that slot (`join`/`leave` are only legal at
-    /// the scheduler's current slot).
+    /// Applies the policy for slot `t`. [`MultiSim::step`] calls this
+    /// through the [`RecoveryHook`] impl once the controller is installed
+    /// via [`MultiSim::set_recovery_hook`]; it can also be driven
+    /// externally, *before* the `step` of each slot (`join`/`leave` are
+    /// only legal at the scheduler's current slot).
     pub fn before_slot<D: DelayModel>(&mut self, sim: &mut MultiSim<D>, t: Slot) {
         if self.policy == RecoveryPolicy::None {
             return;
@@ -170,6 +179,10 @@ impl RecoveryController {
             let capacity = self.m - self.plan.down_count_at(t, self.m).min(self.m);
             if capacity != self.last_capacity {
                 sim.scheduler_mut().set_processors(capacity);
+                sim.push_event(TraceEvent::Capacity {
+                    slot: t,
+                    processors: capacity,
+                });
                 self.stats.capacity_changes += 1;
                 self.last_capacity = capacity;
             }
@@ -202,6 +215,10 @@ impl RecoveryController {
                 .leave(id, t)
                 .expect("shedding only targets active tasks");
             sim.retire_task(id, t);
+            sim.push_event(TraceEvent::Shed {
+                slot: t,
+                task: id.0,
+            });
             self.pending.push(task);
             self.stats.tasks_shed += 1;
         }
@@ -217,6 +234,12 @@ impl RecoveryController {
             match sim.scheduler_mut().join(task, t) {
                 Ok(new_id) => {
                     sim.register_task(new_id, task);
+                    sim.push_event(TraceEvent::Rejoin {
+                        slot: t,
+                        task: new_id.0,
+                        exec: task.exec,
+                        period: task.period,
+                    });
                     debug_assert_eq!(new_id.index(), self.task_of.len());
                     self.task_of.push(task);
                     self.stats.rejoins += 1;
@@ -237,6 +260,7 @@ impl RecoveryController {
                 self.engaged = true;
                 sim.scheduler_mut()
                     .set_early_release(EarlyRelease::Unrestricted);
+                sim.push_event(TraceEvent::CatchUp { slot: t });
             }
         }
         if self.draining {
@@ -251,17 +275,33 @@ impl RecoveryController {
     }
 }
 
-/// Runs `sim` from slot 0 to `horizon` under `ctl`, returning the
-/// finalized fault metrics. The simulator must be freshly constructed
-/// (slot 0) and already carry its fault hook.
+impl<D: DelayModel> RecoveryHook<D> for RecoveryController {
+    fn before_slot(&mut self, sim: &mut MultiSim<D>, t: Slot) {
+        RecoveryController::before_slot(self, sim, t);
+    }
+
+    fn into_any(self: Box<Self>) -> Box<dyn std::any::Any> {
+        self
+    }
+}
+
+/// Runs `sim` from slot 0 to `horizon` under `ctl` installed as the
+/// simulator's [`RecoveryHook`], returning the finalized fault metrics and
+/// the controller (with its accumulated [`RecoveryStats`]). The simulator
+/// must be freshly constructed (slot 0) and already carry its fault hook.
 pub fn run_with_recovery<D: DelayModel>(
     sim: &mut MultiSim<D>,
-    ctl: &mut RecoveryController,
+    ctl: RecoveryController,
     horizon: Slot,
-) -> sched_sim::FaultMetrics {
-    for t in 0..horizon {
-        ctl.before_slot(sim, t);
-        sim.step();
-    }
-    sim.finalize_faults()
+) -> (sched_sim::FaultMetrics, RecoveryController) {
+    sim.set_recovery_hook(Box::new(ctl));
+    sim.run(horizon);
+    let fin = sim.finalize_faults();
+    let ctl = *sim
+        .take_recovery_hook()
+        .expect("the hook installed above is still in place")
+        .into_any()
+        .downcast::<RecoveryController>()
+        .expect("the installed hook is a RecoveryController");
+    (fin, ctl)
 }

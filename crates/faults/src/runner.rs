@@ -1,10 +1,23 @@
 //! One-call degradation runners: a task set, a fault plan, a recovery
 //! policy, a horizon — out come comparable PD² and partitioned-EDF
 //! fault metrics for the experiments layer.
+//!
+//! Every PD² run is window-verified, whatever the policy: the runner
+//! feeds the scheduler's per-slot decisions through an
+//! [`IncrementalWindowCheck`] primed with the same fault/recovery events
+//! the simulator records ([`FaultPlan::burst_events`] up front, the
+//! [`RecoveryController`]'s shed/rejoin/catch-up events as they happen),
+//! so the checker tracks the IS window shifts, departures, and ERfair
+//! relaxations instead of going blind the moment a run is perturbed.
+//! [`run_pd2_traced`] additionally captures a [`ScheduleTrace`] whose
+//! `events` field lets `verify_trace` repeat the same check offline.
 
 use pfair_core::{DelayModel, PfairScheduler, SchedConfig};
 use pfair_model::{Slot, TaskSet};
-use sched_sim::{FaultMetrics, IncrementalWindowCheck, MultiSim, RunMetrics, WindowViolation};
+use sched_sim::{
+    FaultMetrics, IncrementalWindowCheck, MultiSim, RunMetrics, ScheduleTrace, TraceEvent,
+    WindowViolation,
+};
 
 use crate::edf::QuantumEdfSim;
 use crate::plan::{FaultConfig, FaultPlan};
@@ -19,42 +32,125 @@ pub struct DegradationOutcome {
     pub run: RunMetrics,
     /// Recovery interventions (`None` for [`RecoveryPolicy::None`]).
     pub recovery: Option<RecoveryStats>,
-    /// First Pfair window violation, when the run was verifiable (see
-    /// [`run_pd2`]); `None` means "clean" or "not checkable".
+    /// First Pfair window violation. Every run is checked — faulted,
+    /// recovered, and burst-delayed runs against their event-adjusted
+    /// windows — so `None` always means "verified clean", never
+    /// "not checkable".
     pub window_violation: Option<WindowViolation>,
 }
 
+/// What [`drive`] hands back before policy-independent packaging.
+struct RawRun {
+    faults: FaultMetrics,
+    run: RunMetrics,
+    stats: RecoveryStats,
+    violation: Option<WindowViolation>,
+    trace: Option<ScheduleTrace>,
+}
+
 fn drive<D: DelayModel>(
-    sim: &mut MultiSim<D>,
-    ctl: &mut RecoveryController,
+    tasks: &TaskSet,
+    mut sim: MultiSim<D>,
+    ctl: RecoveryController,
+    bursts: Vec<TraceEvent>,
     horizon: Slot,
-    check: Option<&mut IncrementalWindowCheck>,
-) -> Option<WindowViolation> {
-    let mut violation = None;
-    let mut check = check;
-    for t in 0..horizon {
-        ctl.before_slot(sim, t);
-        sim.step();
-        if let Some(c) = check.as_deref_mut() {
-            if let Err(v) = c.observe_slot(sim.last_chosen()) {
-                violation.get_or_insert(v);
-            }
+    want_trace: bool,
+) -> RawRun {
+    sim.record_events();
+    if want_trace {
+        sim.record_schedule();
+        // The trace carries the job-keyed burst record so the offline
+        // verifier can reconstruct the same shifted windows.
+        for ev in &bursts {
+            sim.push_event(*ev);
         }
     }
-    violation
+    let mut check = IncrementalWindowCheck::new(tasks);
+    for ev in &bursts {
+        check.apply_event(ev);
+    }
+    sim.set_recovery_hook(Box::new(ctl));
+    let mut violation = None;
+    // Events recorded so far (the bursts pushed above) are already
+    // applied; only drain what each step appends.
+    let mut seen = sim.events().len();
+    for _ in 0..horizon {
+        sim.step();
+        // Recovery events (shed / rejoin / catch-up) recorded during the
+        // step's slot boundary must reach the checker before that slot's
+        // picks are judged.
+        for ev in &sim.events()[seen..] {
+            check.apply_event(ev);
+        }
+        seen = sim.events().len();
+        if let Err(v) = check.observe_slot(sim.last_chosen()) {
+            violation.get_or_insert(v);
+        }
+    }
+    let faults = sim.finalize_faults();
+    let run = sim.metrics();
+    let trace = want_trace
+        .then(|| ScheduleTrace::capture(tasks, &sim).expect("recording was enabled above"));
+    let ctl = *sim
+        .take_recovery_hook()
+        .expect("the hook installed above is still in place")
+        .into_any()
+        .downcast::<RecoveryController>()
+        .expect("the installed hook is a RecoveryController");
+    RawRun {
+        faults,
+        run,
+        stats: ctl.stats(),
+        violation,
+        trace,
+    }
+}
+
+fn run_pd2_inner(
+    tasks: &TaskSet,
+    m: u32,
+    cfg: FaultConfig,
+    policy: RecoveryPolicy,
+    horizon: Slot,
+    want_trace: bool,
+) -> (DegradationOutcome, Option<ScheduleTrace>) {
+    let plan = FaultPlan::new(cfg);
+    let sched_cfg = SchedConfig::pd2(m);
+    let bursts = plan.burst_events(tasks, horizon);
+    let ctl = RecoveryController::new(plan.clone(), tasks, m, policy);
+    let raw = if cfg.burst_rate > 0.0 {
+        // Bursts reach the scheduler as IS delays *and* the application
+        // layer as shifted arrivals/deadlines, from the same draws.
+        let sched = PfairScheduler::with_delays(tasks, sched_cfg, plan.delays(tasks));
+        let mut sim = MultiSim::with_scheduler(tasks, sched);
+        sim.set_fault_hook(Box::new(plan));
+        drive(tasks, sim, ctl, bursts, horizon, want_trace)
+    } else {
+        let mut sim = MultiSim::new(tasks, sched_cfg);
+        sim.set_fault_hook(Box::new(plan));
+        drive(tasks, sim, ctl, bursts, horizon, want_trace)
+    };
+    (
+        DegradationOutcome {
+            faults: raw.faults,
+            run: raw.run,
+            recovery: (policy != RecoveryPolicy::None).then_some(raw.stats),
+            window_violation: raw.violation,
+        },
+        raw.trace,
+    )
 }
 
 /// Runs PD² over `tasks` on `m` processors for `horizon` slots under the
 /// plan drawn from `cfg`, with `policy` recovery.
 ///
 /// Faults never corrupt the *scheduler* (they only steal useful work from
-/// the dispatched quanta), so whenever the scheduler itself runs
-/// unmodified plain Pfair — policy [`RecoveryPolicy::None`] and no
-/// arrival bursts — the recorded decisions are additionally fed through an
-/// [`IncrementalWindowCheck`]: any reported violation is a simulator bug,
-/// not a fault effect. Runs with bursts (IS windows shift) or an active
-/// recovery policy (ER catch-up / joins change eligibility) are not
-/// checkable and skip the verifier.
+/// the dispatched quanta), so the recorded decisions are always fed
+/// through an [`IncrementalWindowCheck`]. Runs that perturb the schedule
+/// — arrival bursts (IS windows shift), shedding (departures), rejoins
+/// (fresh shifted windows), ER catch-up (relaxed releases) — are checked
+/// against their event-adjusted windows; any reported violation is a
+/// simulator or recovery bug, not a fault effect.
 pub fn run_pd2(
     tasks: &TaskSet,
     m: u32,
@@ -62,31 +158,21 @@ pub fn run_pd2(
     policy: RecoveryPolicy,
     horizon: Slot,
 ) -> DegradationOutcome {
-    let plan = FaultPlan::new(cfg);
-    let sched_cfg = SchedConfig::pd2(m);
-    let checkable = policy == RecoveryPolicy::None && cfg.burst_rate <= 0.0;
-    let mut check = checkable.then(|| IncrementalWindowCheck::new(tasks));
-    let mut ctl = RecoveryController::new(plan.clone(), tasks, m, policy);
-    let (faults, run, violation) = if cfg.burst_rate > 0.0 {
-        // Bursts reach the scheduler as IS delays *and* the application
-        // layer as shifted arrivals/deadlines, from the same draws.
-        let sched = PfairScheduler::with_delays(tasks, sched_cfg, plan.delays(tasks));
-        let mut sim = MultiSim::with_scheduler(tasks, sched);
-        sim.set_fault_hook(Box::new(plan));
-        let violation = drive(&mut sim, &mut ctl, horizon, check.as_mut());
-        (sim.finalize_faults(), sim.metrics(), violation)
-    } else {
-        let mut sim = MultiSim::new(tasks, sched_cfg);
-        sim.set_fault_hook(Box::new(plan));
-        let violation = drive(&mut sim, &mut ctl, horizon, check.as_mut());
-        (sim.finalize_faults(), sim.metrics(), violation)
-    };
-    DegradationOutcome {
-        faults,
-        run,
-        recovery: (policy != RecoveryPolicy::None).then(|| ctl.stats()),
-        window_violation: violation,
-    }
+    run_pd2_inner(tasks, m, cfg, policy, horizon, false).0
+}
+
+/// [`run_pd2`] that additionally captures a [`ScheduleTrace`] carrying
+/// the run's fault/recovery events, so the same verification can be
+/// repeated offline (`verify_trace`) or archived.
+pub fn run_pd2_traced(
+    tasks: &TaskSet,
+    m: u32,
+    cfg: FaultConfig,
+    policy: RecoveryPolicy,
+    horizon: Slot,
+) -> (DegradationOutcome, ScheduleTrace) {
+    let (out, trace) = run_pd2_inner(tasks, m, cfg, policy, horizon, true);
+    (out, trace.expect("inner run records a trace when asked"))
 }
 
 /// Runs partitioned EDF (first-fit decreasing) under the same plan.
@@ -138,7 +224,7 @@ mod tests {
     }
 
     #[test]
-    fn burst_runs_use_is_delays_and_skip_the_checker() {
+    fn burst_runs_verify_against_shifted_is_windows() {
         let cfg = FaultConfig {
             burst_rate: 0.4,
             burst_max: 3,
@@ -148,6 +234,86 @@ mod tests {
         // Bursts postpone deadlines as well as arrivals; a feasible set
         // stays feasible under the IS model (paper, Theorem 1).
         assert_eq!(out.faults.job_misses, 0, "{:?}", out.faults);
-        assert!(out.window_violation.is_none());
+        // The checker followed the shifted IS windows — this is a real
+        // verified verdict, not a skipped check.
+        assert!(out.window_violation.is_none(), "{:?}", out.window_violation);
+    }
+
+    #[test]
+    fn every_recovery_policy_is_window_checked_clean() {
+        let cfg = FaultConfig {
+            fail_every: 40,
+            fail_duration: 6,
+            max_down: 1,
+            loss_rate: 0.05,
+            ..FaultConfig::none(5)
+        };
+        for policy in [
+            RecoveryPolicy::None,
+            RecoveryPolicy::Shed,
+            RecoveryPolicy::CatchUp,
+            RecoveryPolicy::Full,
+        ] {
+            let out = run_pd2(&tasks(), 2, cfg, policy, 420);
+            assert!(
+                out.window_violation.is_none(),
+                "{policy:?}: {:?}",
+                out.window_violation
+            );
+            if policy != RecoveryPolicy::None {
+                let stats = out.recovery.expect("recovery stats for active policy");
+                if policy == RecoveryPolicy::Shed || policy == RecoveryPolicy::Full {
+                    assert!(stats.capacity_changes > 0, "{policy:?}: {stats:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn faulted_trace_reverifies_offline() {
+        let cfg = FaultConfig {
+            fail_every: 50,
+            fail_duration: 5,
+            max_down: 1,
+            loss_rate: 0.1,
+            burst_rate: 0.3,
+            burst_max: 2,
+            ..FaultConfig::none(23)
+        };
+        let (out, trace) = run_pd2_traced(&tasks(), 2, cfg, RecoveryPolicy::Full, 420);
+        assert!(out.window_violation.is_none(), "{:?}", out.window_violation);
+        assert!(trace.is_perturbed(), "bursts must appear in the events");
+        let json = trace.to_json();
+        let back = ScheduleTrace::from_json(&json).expect("trace JSON round-trips");
+        assert_eq!(back, trace);
+        back.verify().expect("archived faulted trace re-verifies");
+    }
+
+    #[test]
+    fn tampered_faulted_trace_is_rejected() {
+        let cfg = FaultConfig {
+            fail_every: 30,
+            fail_duration: 10,
+            max_down: 1,
+            ..FaultConfig::none(9)
+        };
+        let (out, mut trace) = run_pd2_traced(&tasks(), 2, cfg, RecoveryPolicy::Shed, 200);
+        assert!(out.window_violation.is_none(), "{:?}", out.window_violation);
+        let shed_task = trace
+            .events
+            .iter()
+            .find_map(|ev| match *ev {
+                TraceEvent::Shed { task, .. } => Some(task),
+                _ => None,
+            })
+            .expect("a 10-slot outage on a 1.9-weight set must shed");
+        // Forge an allocation to the shed task after its departure: the
+        // event-aware checker must flag the zombie pick.
+        trace
+            .slots
+            .last_mut()
+            .expect("non-empty schedule")
+            .push(shed_task);
+        assert!(trace.verify().is_err(), "tampered trace must be rejected");
     }
 }

@@ -68,8 +68,8 @@ fn fail_and_rejoin_leaves_lag_bounded() {
     let plan = FaultPlan::new(cfg);
     let mut sim = MultiSim::new(&set, SchedConfig::pd2(2));
     sim.set_fault_hook(Box::new(plan.clone()));
-    let mut ctl = RecoveryController::new(plan, &set, 2, RecoveryPolicy::Full);
-    let fin = run_with_recovery(&mut sim, &mut ctl, 200);
+    let ctl = RecoveryController::new(plan, &set, 2, RecoveryPolicy::Full);
+    let (fin, ctl) = run_with_recovery(&mut sim, ctl, 200);
     let stats = ctl.stats();
 
     assert_eq!(fin.dead_proc_quanta, 10, "{fin:?}");
@@ -107,9 +107,9 @@ fn catchup_reconverges_after_loss_window() {
     let plan = FaultPlan::new(cfg);
     let mut sim = MultiSim::new(&set, SchedConfig::pd2(2));
     sim.set_fault_hook(Box::new(plan.clone()));
-    let mut ctl =
+    let ctl =
         RecoveryController::new(plan, &set, 2, RecoveryPolicy::CatchUp).with_watchdog(1.5, 2, 1.0);
-    let fin = run_with_recovery(&mut sim, &mut ctl, 400);
+    let (fin, ctl) = run_with_recovery(&mut sim, ctl, 400);
     let stats = ctl.stats();
 
     assert!(fin.wasted_quanta > 0, "{fin:?}");

@@ -135,10 +135,35 @@ pub fn partition<A: Acceptance>(
     )
 }
 
-/// [`partition`] with instrumentation: the number of bins probed for a
-/// placement ("partition.bins_probed"), acceptance-test evaluations
-/// ("partition.accept_evals"), and bins opened ("partition.bins_opened")
-/// land in `rec`.
+/// Pre-registered instruments for the packing hot path: the number of
+/// bins probed for a placement ("partition.bins_probed"),
+/// acceptance-test evaluations ("partition.accept_evals"), and bins
+/// opened ("partition.bins_opened"). Callers that partition in a loop
+/// build one handle bundle up front and pass it to
+/// [`partition_with_obs`] instead of re-registering the counters through
+/// the recorder's registry mutex on every call (the `SchedObs`/`SimObs`
+/// idiom from `pfair-core`/`sched-sim`).
+pub struct PartitionObs {
+    bins_probed: obs::Counter,
+    accept_evals: obs::Counter,
+    bins_opened: obs::Counter,
+}
+
+impl PartitionObs {
+    /// Registers the `partition.*` instruments in `rec`.
+    pub fn new(rec: &obs::Recorder) -> Self {
+        PartitionObs {
+            bins_probed: rec.counter("partition.bins_probed"),
+            accept_evals: rec.counter("partition.accept_evals"),
+            bins_opened: rec.counter("partition.bins_opened"),
+        }
+    }
+}
+
+/// [`partition`] with instrumentation landing in `rec` (see
+/// [`PartitionObs`] for the instruments). Registers the counters on every
+/// call; hot loops should hold a [`PartitionObs`] and call
+/// [`partition_with_obs`] instead.
 #[allow(clippy::too_many_arguments)]
 pub fn partition_observed<A: Acceptance>(
     n: usize,
@@ -149,9 +174,34 @@ pub fn partition_observed<A: Acceptance>(
     keys: impl Fn(usize) -> (f64, u64),
     rec: &obs::Recorder,
 ) -> Option<PartitionResult> {
-    let bins_probed = rec.counter("partition.bins_probed");
-    let accept_evals = rec.counter("partition.accept_evals");
-    let bins_opened = rec.counter("partition.bins_opened");
+    partition_with_obs(
+        n,
+        acc,
+        heuristic,
+        order,
+        max_procs,
+        keys,
+        &PartitionObs::new(rec),
+    )
+}
+
+/// [`partition`] counting its work through a caller-held
+/// [`PartitionObs`].
+#[allow(clippy::too_many_arguments)]
+pub fn partition_with_obs<A: Acceptance>(
+    n: usize,
+    acc: &A,
+    heuristic: Heuristic,
+    order: SortOrder,
+    max_procs: u32,
+    keys: impl Fn(usize) -> (f64, u64),
+    po: &PartitionObs,
+) -> Option<PartitionResult> {
+    let PartitionObs {
+        bins_probed,
+        accept_evals,
+        bins_opened,
+    } = po;
     // Counted try_add: every acceptance evaluation probes one bin.
     let probe = |state: &A::ProcState, task: usize| {
         bins_probed.incr();
@@ -240,6 +290,19 @@ pub fn partition_unbounded_observed<A: Acceptance>(
     rec: &obs::Recorder,
 ) -> Option<PartitionResult> {
     partition_observed(n, acc, heuristic, order, u32::MAX, keys, rec)
+}
+
+/// [`partition_unbounded`] counting its work through a caller-held
+/// [`PartitionObs`] (see [`partition_with_obs`]).
+pub fn partition_unbounded_with_obs<A: Acceptance>(
+    n: usize,
+    acc: &A,
+    heuristic: Heuristic,
+    order: SortOrder,
+    keys: impl Fn(usize) -> (f64, u64),
+    po: &PartitionObs,
+) -> Option<PartitionResult> {
+    partition_with_obs(n, acc, heuristic, order, u32::MAX, keys, po)
 }
 
 #[cfg(test)]

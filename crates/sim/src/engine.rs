@@ -34,7 +34,29 @@
 //! [`FaultMetrics`] struct. With no hook (or a hook that injects nothing)
 //! the engine's behaviour and [`RunMetrics`] are bit-for-bit identical to
 //! a plain run.
+//!
+//! # Recovery
+//!
+//! A [`RecoveryHook`] installed via [`MultiSim::set_recovery_hook`] is the
+//! counterpart on the *response* side: [`MultiSim::step`] invokes it at
+//! the top of every slot, before the scheduler tick and dispatch, with
+//! full mutable access to the simulator — the slot boundary is exactly
+//! where `join`/`leave`/`set_processors`/`set_early_release` are legal.
+//! Hoisting the hook into the engine (rather than having an experiment
+//! loop drive it externally) means *every* consumer of the engine — and
+//! every recorded trace — sees recovery actions.
+//!
+//! # Event recording
+//!
+//! With [`MultiSim::record_events`] enabled, the engine appends a
+//! [`TraceEvent`] for each injected fault (processor down, wasted quantum,
+//! WCET overrun), and hooks append their own (shed, rejoin, catch-up,
+//! capacity) via [`MultiSim::push_event`].
+//! [`ScheduleTrace::capture`](crate::trace::ScheduleTrace::capture)
+//! archives the stream next to the schedule so the run can be re-verified
+//! offline.
 
+use crate::trace::TraceEvent;
 use pfair_core::sched::{DelayModel, PfairScheduler};
 use pfair_model::{Slot, Task, TaskId, TaskSet};
 
@@ -109,6 +131,29 @@ pub trait FaultHook {
         let _ = (task, job);
         0
     }
+}
+
+/// Responds to faults from *inside* the simulation loop (see the module
+/// docs): [`MultiSim::step`] calls [`before_slot`](Self::before_slot) at
+/// the top of every slot, before the scheduler tick, handing the hook full
+/// mutable access to the simulator. Mirrors [`FaultHook`] on the recovery
+/// side; `crates/faults`' `RecoveryController` is the canonical
+/// implementation.
+///
+/// The hook is temporarily removed from the simulator while it runs (so it
+/// can borrow the simulator mutably); [`MultiSim::has_recovery_hook`]
+/// reports `false` during the call.
+pub trait RecoveryHook<D: DelayModel> {
+    /// Applies the recovery policy at the boundary of slot `t` — the only
+    /// point where `join`/`leave`/`set_processors`/`set_early_release` are
+    /// legal. Implementations that record their actions should do so via
+    /// [`MultiSim::push_event`].
+    fn before_slot(&mut self, sim: &mut MultiSim<D>, t: Slot);
+
+    /// Recovers the concrete hook (and whatever statistics it carries)
+    /// after a run, via [`MultiSim::take_recovery_hook`] and
+    /// [`std::any::Any`] downcasting.
+    fn into_any(self: Box<Self>) -> Box<dyn std::any::Any>;
 }
 
 /// Fault-layer counters, kept apart from [`RunMetrics`] so the scheduler
@@ -297,6 +342,12 @@ pub struct MultiSim<D: DelayModel = pfair_core::NoDelay> {
     assignment: Vec<Option<TaskId>>,
     /// Fault injection (None = the fault layer is entirely inert).
     hook: Option<Box<dyn FaultHook>>,
+    /// Recovery policy hook, run at the top of every slot.
+    recovery: Option<Box<dyn RecoveryHook<D>>>,
+    /// Recorded fault/recovery events (empty unless enabled).
+    events: Vec<TraceEvent>,
+    /// Whether [`Self::push_event`] records or drops events.
+    events_on: bool,
     /// Scratch: faults of the current slot.
     slot_faults: SlotFaults,
     /// Scratch: per-processor fail-stop flags for the current slot.
@@ -345,6 +396,9 @@ impl<D: DelayModel> MultiSim<D> {
             chosen: Vec::with_capacity(m),
             assignment: vec![None; m],
             hook: None,
+            recovery: None,
+            events: Vec::new(),
+            events_on: false,
             slot_faults: SlotFaults::default(),
             proc_down: vec![false; m],
             app: Vec::new(),
@@ -434,6 +488,48 @@ impl<D: DelayModel> MultiSim<D> {
     /// Whether a fault hook is installed.
     pub fn has_fault_hook(&self) -> bool {
         self.hook.is_some()
+    }
+
+    /// Installs a recovery hook, invoked at the top of every subsequent
+    /// [`Self::step`] (see [`RecoveryHook`]). Replaces any previous hook.
+    pub fn set_recovery_hook(&mut self, hook: Box<dyn RecoveryHook<D>>) -> &mut Self {
+        self.recovery = Some(hook);
+        self
+    }
+
+    /// Removes and returns the recovery hook, e.g. to read its statistics
+    /// back out through [`RecoveryHook::into_any`] after a run.
+    pub fn take_recovery_hook(&mut self) -> Option<Box<dyn RecoveryHook<D>>> {
+        self.recovery.take()
+    }
+
+    /// Whether a recovery hook is installed (`false` while the hook itself
+    /// is being invoked).
+    pub fn has_recovery_hook(&self) -> bool {
+        self.recovery.is_some()
+    }
+
+    /// Enables fault/recovery event recording: the engine records injected
+    /// faults as they land, and recovery hooks record their actions via
+    /// [`Self::push_event`]. Disabled by default (recording allocates).
+    pub fn record_events(&mut self) -> &mut Self {
+        self.events_on = true;
+        self
+    }
+
+    /// The events recorded so far, in the order they occurred. Slot-keyed
+    /// events are non-decreasing in slot; job-keyed burst events may be
+    /// pushed up front by the run harness.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Appends an event to the recording; a no-op unless
+    /// [`Self::record_events`] was enabled.
+    pub fn push_event(&mut self, ev: TraceEvent) {
+        if self.events_on {
+            self.events.push(ev);
+        }
     }
 
     /// Registers dispatch (and, with a hook installed, application)
@@ -541,6 +637,13 @@ impl<D: DelayModel> MultiSim<D> {
 
     /// Simulates one slot; returns the processor → task assignment.
     pub fn step(&mut self) -> &[Option<TaskId>] {
+        // Recovery first: the slot boundary is where joins/leaves/capacity
+        // changes are legal. The hook is taken out for the call so it can
+        // borrow the simulator mutably.
+        if let Some(mut hook) = self.recovery.take() {
+            hook.before_slot(self, self.now);
+            self.recovery = Some(hook);
+        }
         let t = self.now;
         self.now += 1;
         let m = self.proc_owner.len();
@@ -558,6 +661,12 @@ impl<D: DelayModel> MultiSim<D> {
                     live -= 1;
                     self.fault_metrics.dead_proc_quanta += 1;
                     self.obs.fault_dead.incr();
+                    if self.events_on {
+                        self.events.push(TraceEvent::ProcDown {
+                            slot: t,
+                            proc: p as u32,
+                        });
+                    }
                 }
             }
         }
@@ -672,6 +781,13 @@ impl<D: DelayModel> MultiSim<D> {
                 if self.slot_faults.wasted.contains(&(proc as u32)) {
                     self.fault_metrics.wasted_quanta += 1;
                     self.obs.fault_wasted.incr();
+                    if self.events_on {
+                        self.events.push(TraceEvent::QuantumLoss {
+                            slot: t,
+                            proc: proc as u32,
+                            task: id.0,
+                        });
+                    }
                     continue;
                 }
                 let a = &mut self.app[id.index()];
@@ -690,6 +806,14 @@ impl<D: DelayModel> MultiSim<D> {
                         self.fault_metrics.overruns += 1;
                         self.fault_metrics.overrun_quanta += extra;
                         self.obs.fault_overruns.incr();
+                        if self.events_on {
+                            self.events.push(TraceEvent::Overrun {
+                                slot: t,
+                                task: id.0,
+                                job: a.job,
+                                extra,
+                            });
+                        }
                     }
                 }
                 if a.done >= a.needed {

@@ -25,10 +25,12 @@ pub mod trace;
 pub mod verify;
 pub mod wrr;
 
-pub use engine::{FaultHook, FaultMetrics, MultiSim, RunMetrics, SlotFaults};
+pub use engine::{FaultHook, FaultMetrics, MultiSim, RecoveryHook, RunMetrics, SlotFaults};
 pub use global_edf::GlobalEdfSim;
 pub use partitioned::{PartitionedSim, PartitionedStats};
 pub use render::{render_schedule, render_task_windows};
-pub use trace::{NotRecordingError, ScheduleTrace};
-pub use verify::{check_windows, IncrementalWindowCheck, WindowViolation};
+pub use trace::{NotRecordingError, ScheduleTrace, TraceEvent};
+pub use verify::{
+    check_windows, check_windows_with_events, IncrementalWindowCheck, WindowViolation,
+};
 pub use wrr::{WrrSim, WrrStats};

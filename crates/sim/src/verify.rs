@@ -6,9 +6,39 @@
 //! land inside `w(T_k) = [r(T_k), d(T_k))`. A schedule satisfies the lag
 //! bound iff it satisfies window containment (paper, Section 2), and the
 //! property tests assert exactly that equivalence.
+//!
+//! # Event-aware verification
+//!
+//! Faulted runs perturb the scheduler in ways the synchronous windows do
+//! not model — but every perturbation the simulator supports has an exact
+//! window-level meaning, so a perturbed schedule is still checkable given
+//! the [`TraceEvent`] record of what happened:
+//!
+//! * [`TraceEvent::Burst`] — the IS model: job `j` arriving `δ` late adds
+//!   `δ` to the task's cumulative offset θ, and subtask `T_k` of job ≥ `j`
+//!   occupies `[r(T_k) + θ, d(T_k) + θ)` (paper, Section 3).
+//! * [`TraceEvent::Shed`] — the task leaves under the safe leave rule and
+//!   is dropped from the check at its departure slot; any later
+//!   allocation to it is a violation.
+//! * [`TraceEvent::Rejoin`] — the §5.2 join rule: the new incarnation's
+//!   windows are the synchronous windows shifted right by the join slot
+//!   (the scheduler admits it with θ = join time).
+//! * [`TraceEvent::CatchUp`] — ERfair: from the trip slot on, subtasks
+//!   may legally run *before* their Pfair releases, so only the deadline
+//!   half of each window — equivalent to the ERfair lag bound
+//!   `lag < 1` — remains enforceable.
+//! * [`TraceEvent::Capacity`], [`TraceEvent::ProcDown`],
+//!   [`TraceEvent::QuantumLoss`], [`TraceEvent::Overrun`] — no effect on
+//!   window containment (capacity only shrinks the per-slot pick count;
+//!   the others steal useful work without touching the scheduler).
+//!
+//! Feed events to [`IncrementalWindowCheck::apply_event`] as they happen
+//! (or use [`check_windows_with_events`] for an archived schedule) and
+//! every recovery policy becomes verifiable, not just fault-free runs.
 
+use crate::trace::TraceEvent;
 use pfair_core::subtask;
-use pfair_model::{Slot, TaskId, TaskSet};
+use pfair_model::{Slot, Task, TaskId, TaskSet, Weight};
 use std::fmt;
 
 /// A subtask scheduled outside its window.
@@ -40,41 +70,158 @@ impl fmt::Display for WindowViolation {
 /// allocation of each task must fall within `[r(T_k), d(T_k))`. Returns the
 /// first violation.
 pub fn check_windows(tasks: &TaskSet, schedule: &[Vec<TaskId>]) -> Result<(), WindowViolation> {
+    check_windows_with_events(tasks, schedule, &[])
+}
+
+/// Checks window containment of an archived schedule under the recorded
+/// fault/recovery events (see the module docs for the per-event
+/// semantics). Job-keyed burst events apply from the start; slot-keyed
+/// events are applied before their slot is checked, in slot order.
+///
+/// With an empty event list this is exactly the strict synchronous check.
+pub fn check_windows_with_events(
+    tasks: &TaskSet,
+    schedule: &[Vec<TaskId>],
+    events: &[TraceEvent],
+) -> Result<(), WindowViolation> {
     let mut check = IncrementalWindowCheck::new(tasks);
-    for slot_tasks in schedule {
+    let mut slotted: Vec<&TraceEvent> = Vec::new();
+    for ev in events {
+        match ev.slot() {
+            None => check.apply_event(ev), // job-keyed: applies globally
+            Some(_) => slotted.push(ev),
+        }
+    }
+    // Stable by slot, preserving recorded order within a slot (a shed and
+    // a rejoin can share one).
+    slotted.sort_by_key(|ev| ev.slot());
+    let mut next = 0;
+    for (t, slot_tasks) in schedule.iter().enumerate() {
+        while next < slotted.len() && slotted[next].slot() <= Some(t as Slot) {
+            check.apply_event(slotted[next]);
+            next += 1;
+        }
         check.observe_slot(slot_tasks)?;
     }
     Ok(())
 }
 
-/// Online version of [`check_windows`]: feed it each slot's scheduled
-/// tasks as the simulation produces them and it reports the first window
-/// violation immediately, without retaining the schedule. Used by the
-/// fault-injection runner as an invariant watchdog — with fault injection
-/// confined to the *execution* of quanta (never the scheduler's decision),
-/// a plain-Pfair schedule of a synchronous periodic set must stay
-/// window-containing even while faults rage.
-///
-/// Task ids outside the initial set (dynamically joined tasks) are
-/// ignored: their windows are offset by their join slot, which this check
-/// does not model. It is likewise only meaningful under
-/// [`EarlyRelease::None`](pfair_core::EarlyRelease) and without IS delays,
-/// both of which legitimately move allocations outside the synchronous
-/// windows.
+/// Per-task window bookkeeping for [`IncrementalWindowCheck`].
+#[derive(Debug, Clone)]
+struct CheckTask {
+    weight: Weight,
+    /// Unreduced per-job execution cost (job boundaries depend on it).
+    exec: u64,
+    /// Allocations observed so far (the last seen subtask index).
+    count: u64,
+    /// Slot the task's windows are measured from (join slot; 0 initially).
+    origin: Slot,
+    /// Cleared when the task is shed: no further allocations are legal.
+    active: bool,
+    /// Recorded burst delays as `(job, delay)`, ascending by job.
+    bursts: Vec<(u64, u64)>,
+}
+
+impl CheckTask {
+    /// Total window shift of subtask `k`: the origin plus the cumulative
+    /// IS offset θ through `k`'s job — mirroring the scheduler, which adds
+    /// each job's delay to θ when it queues the job's first subtask.
+    fn shift(&self, k: u64) -> Slot {
+        let job = (k - 1) / self.exec;
+        let theta: u64 = self
+            .bursts
+            .iter()
+            .take_while(|&&(j, _)| j <= job)
+            .map(|&(_, d)| d)
+            .sum();
+        self.origin + theta
+    }
+}
+
+/// Online version of [`check_windows`] / [`check_windows_with_events`]:
+/// feed it each slot's scheduled tasks as the simulation produces them and
+/// it reports the first window violation immediately, without retaining
+/// the schedule. Used by the fault-injection runner as an invariant
+/// watchdog over *every* recovery policy: perturbations are accounted for
+/// by feeding their [`TraceEvent`]s through [`Self::apply_event`] before
+/// the affected slot is observed.
 #[derive(Debug, Clone)]
 pub struct IncrementalWindowCheck {
-    weights: Vec<pfair_model::Weight>,
-    counts: Vec<u64>,
+    tasks: Vec<CheckTask>,
     now: Slot,
+    /// Slot from which ERfair catch-up relaxes the release half of the
+    /// check (`None` = never engaged: strict windows throughout).
+    er_from: Option<Slot>,
 }
 
 impl IncrementalWindowCheck {
     /// A checker for the given (initial) task set.
     pub fn new(tasks: &TaskSet) -> Self {
         IncrementalWindowCheck {
-            weights: tasks.iter().map(|(_, t)| t.weight()).collect(),
-            counts: vec![0u64; tasks.len()],
+            tasks: tasks
+                .iter()
+                .map(|(_, t)| CheckTask {
+                    weight: t.weight(),
+                    exec: t.exec,
+                    count: 0,
+                    origin: 0,
+                    active: true,
+                    bursts: Vec::new(),
+                })
+                .collect(),
             now: 0,
+            er_from: None,
+        }
+    }
+
+    /// Incorporates one recorded event (see the module docs). Slot-keyed
+    /// events must be applied before the slot they are keyed to is
+    /// observed; burst events may be applied at any point before the
+    /// delayed job's subtasks appear. Events that do not affect window
+    /// containment are accepted and ignored, so callers can feed the raw
+    /// stream. Inconsistent rejoins (ids that do not extend the task list,
+    /// or invalid parameters) are ignored rather than trusted.
+    pub fn apply_event(&mut self, ev: &TraceEvent) {
+        match *ev {
+            TraceEvent::Burst { task, job, delay } => {
+                if let Some(ct) = self.tasks.get_mut(task as usize) {
+                    let pos = ct.bursts.partition_point(|&(j, _)| j < job);
+                    ct.bursts.insert(pos, (job, delay));
+                }
+            }
+            TraceEvent::Shed { task, .. } => {
+                if let Some(ct) = self.tasks.get_mut(task as usize) {
+                    ct.active = false;
+                }
+            }
+            TraceEvent::Rejoin {
+                slot,
+                task,
+                exec,
+                period,
+            } => {
+                // The scheduler assigns fresh ids densely, so an honest
+                // rejoin extends the list by exactly one.
+                if task as usize == self.tasks.len() {
+                    if let Ok(t) = Task::new(exec, period) {
+                        self.tasks.push(CheckTask {
+                            weight: t.weight(),
+                            exec: t.exec,
+                            count: 0,
+                            origin: slot,
+                            active: true,
+                            bursts: Vec::new(),
+                        });
+                    }
+                }
+            }
+            TraceEvent::CatchUp { slot } => {
+                self.er_from = Some(self.er_from.map_or(slot, |s| s.min(slot)));
+            }
+            TraceEvent::ProcDown { .. }
+            | TraceEvent::QuantumLoss { .. }
+            | TraceEvent::Overrun { .. }
+            | TraceEvent::Capacity { .. } => {}
         }
     }
 
@@ -82,15 +229,19 @@ impl IncrementalWindowCheck {
     pub fn observe_slot(&mut self, slot_tasks: &[TaskId]) -> Result<(), WindowViolation> {
         let t = self.now;
         self.now += 1;
+        let relaxed = self.er_from.is_some_and(|s| t >= s);
         for &id in slot_tasks {
-            let Some(&w) = self.weights.get(id.index()) else {
-                continue; // dynamically joined: windows not modeled
+            let Some(ct) = self.tasks.get_mut(id.index()) else {
+                continue; // joined outside the event record: not modeled
             };
-            self.counts[id.index()] += 1;
-            let k = self.counts[id.index()];
-            let r = subtask::release(w, k);
-            let d = subtask::deadline(w, k);
-            if t < r || t >= d {
+            let k = ct.count + 1;
+            let shift = ct.shift(k);
+            let r = subtask::release(ct.weight, k) + shift;
+            let d = subtask::deadline(ct.weight, k) + shift;
+            // A shed task must never be scheduled again; its next window
+            // is as good a diagnostic as any.
+            let early = t < r && !relaxed;
+            if !ct.active || early || t >= d {
                 return Err(WindowViolation {
                     task: id,
                     index: k,
@@ -99,6 +250,7 @@ impl IncrementalWindowCheck {
                     deadline: d,
                 });
             }
+            ct.count = k;
         }
         Ok(())
     }
@@ -170,6 +322,113 @@ mod tests {
         let early = vec![vec![TaskId(0)], vec![TaskId(0)]];
         let v = check_windows(&set, &early).unwrap_err();
         assert_eq!((v.index, v.slot), (2, 1));
+    }
+
+    /// A burst event shifts the task's later windows right, making an
+    /// otherwise-early allocation illegal and an otherwise-late one legal.
+    #[test]
+    fn burst_event_shifts_windows() {
+        let set = ts(&[(1, 4)]);
+        // Job 1 (subtask 2) delayed by 2: its window moves [4, 8) → [6, 10).
+        let burst = TraceEvent::Burst {
+            task: 0,
+            job: 1,
+            delay: 2,
+        };
+        // Slot 5 is legal synchronously but early under the burst…
+        let mut sched = vec![
+            vec![TaskId(0)],
+            vec![],
+            vec![],
+            vec![],
+            vec![],
+            vec![TaskId(0)],
+        ];
+        assert_eq!(check_windows(&set, &sched), Ok(()));
+        let v = check_windows_with_events(&set, &sched, &[burst]).unwrap_err();
+        assert_eq!((v.index, v.slot, v.release), (2, 5, 6));
+        // …while slot 8 is late synchronously but fine under the burst.
+        sched.truncate(5);
+        sched.extend([vec![], vec![], vec![], vec![TaskId(0)]]);
+        assert!(check_windows(&set, &sched).is_err());
+        assert_eq!(check_windows_with_events(&set, &sched, &[burst]), Ok(()));
+    }
+
+    /// Shed drops the task from the check at its slot; a later allocation
+    /// to the departed id is flagged.
+    #[test]
+    fn shed_event_drops_task_and_flags_zombies() {
+        let set = ts(&[(1, 2), (1, 4)]);
+        let shed = TraceEvent::Shed { slot: 2, task: 1 };
+        // Task 1 scheduled at slot 0, then shed at slot 2: clean.
+        let clean = vec![vec![TaskId(0), TaskId(1)], vec![], vec![TaskId(0)], vec![]];
+        assert_eq!(check_windows_with_events(&set, &clean, &[shed]), Ok(()));
+        // The same schedule with a post-shed allocation is rejected.
+        let zombie = vec![
+            vec![TaskId(0), TaskId(1)],
+            vec![],
+            vec![TaskId(0)],
+            vec![TaskId(1)],
+        ];
+        let v = check_windows_with_events(&set, &zombie, &[shed]).unwrap_err();
+        assert_eq!((v.task, v.slot), (TaskId(1), 3));
+    }
+
+    /// A rejoined task's windows start at its join slot (§5.2 join rule).
+    #[test]
+    fn rejoin_event_models_shifted_windows() {
+        let set = ts(&[(1, 2)]);
+        let events = [
+            TraceEvent::Shed { slot: 0, task: 0 },
+            TraceEvent::Rejoin {
+                slot: 3,
+                task: 1,
+                exec: 1,
+                period: 2,
+            },
+        ];
+        // New id 1 joins at slot 3: first window [3, 5), second [5, 7).
+        let ok = vec![
+            vec![],
+            vec![],
+            vec![],
+            vec![TaskId(1)],
+            vec![],
+            vec![TaskId(1)],
+        ];
+        assert_eq!(check_windows_with_events(&set, &ok, &events), Ok(()));
+        // Scheduling it before the join-shifted release is a violation.
+        let early = vec![vec![], vec![], vec![], vec![TaskId(1)], vec![TaskId(1)]];
+        let v = check_windows_with_events(&set, &early, &events).unwrap_err();
+        assert_eq!((v.task, v.index, v.slot, v.release), (TaskId(1), 2, 4, 5));
+    }
+
+    /// From the catch-up slot on, early allocations are legal (ERfair) but
+    /// late ones still are not.
+    #[test]
+    fn catchup_event_relaxes_releases_only() {
+        let set = ts(&[(1, 4)]);
+        // Subtask 2's window is [4, 8); slot 1 is early.
+        let early = vec![vec![TaskId(0)], vec![TaskId(0)]];
+        assert!(check_windows(&set, &early).is_err());
+        let engaged = [TraceEvent::CatchUp { slot: 1 }];
+        assert_eq!(check_windows_with_events(&set, &early, &engaged), Ok(()));
+        // …but only from the trip slot: engaged at slot 2 it is still early.
+        let late_trip = [TraceEvent::CatchUp { slot: 2 }];
+        assert!(check_windows_with_events(&set, &early, &late_trip).is_err());
+        // Deadlines keep biting under ER: slot 8 is past subtask 2's d.
+        let late = vec![
+            vec![TaskId(0)],
+            vec![],
+            vec![],
+            vec![],
+            vec![],
+            vec![],
+            vec![],
+            vec![],
+            vec![TaskId(0)],
+        ];
+        assert!(check_windows_with_events(&set, &late, &engaged).is_err());
     }
 
     /// Window containment ⟺ Pfair lag bound, on randomly generated

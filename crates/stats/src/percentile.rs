@@ -92,16 +92,24 @@ impl Samples {
     }
 
     /// A fixed-width histogram over `[lo, hi)` with `bins` buckets;
-    /// out-of-range samples clamp to the end buckets.
-    pub fn histogram(&self, lo: f64, hi: f64, bins: usize) -> Vec<u64> {
+    /// out-of-range samples clamp to the end buckets. NaN samples belong
+    /// to no bucket (`NaN as i64` would silently saturate them into
+    /// bucket 0): they are skipped, and the second return value reports
+    /// how many were.
+    pub fn histogram(&self, lo: f64, hi: f64, bins: usize) -> (Vec<u64>, u64) {
         assert!(bins > 0 && hi > lo);
         let mut h = vec![0u64; bins];
+        let mut skipped = 0u64;
         let width = (hi - lo) / bins as f64;
         for &v in &self.values {
+            if v.is_nan() {
+                skipped += 1;
+                continue;
+            }
             let idx = (((v - lo) / width).floor() as i64).clamp(0, bins as i64 - 1);
             h[idx as usize] += 1;
         }
-        h
+        (h, skipped)
     }
 }
 
@@ -151,12 +159,24 @@ mod tests {
     #[test]
     fn histogram_bins() {
         let s: Samples = (0..10).map(|i| i as f64).collect();
-        let h = s.histogram(0.0, 10.0, 5);
+        let (h, skipped) = s.histogram(0.0, 10.0, 5);
         assert_eq!(h, vec![2, 2, 2, 2, 2]);
+        assert_eq!(skipped, 0);
         // Clamping.
         let s: Samples = [-5.0, 100.0].into_iter().collect();
-        let h = s.histogram(0.0, 10.0, 2);
+        let (h, skipped) = s.histogram(0.0, 10.0, 2);
         assert_eq!(h, vec![1, 1]);
+        assert_eq!(skipped, 0);
+    }
+
+    #[test]
+    fn histogram_skips_nan_samples() {
+        let s: Samples = [1.0, f64::NAN, 9.0, f64::NAN].into_iter().collect();
+        let (h, skipped) = s.histogram(0.0, 10.0, 2);
+        // The NaNs are reported, not silently piled into bucket 0.
+        assert_eq!(h, vec![1, 1]);
+        assert_eq!(skipped, 2);
+        assert_eq!(h.iter().sum::<u64>() + skipped, s.len() as u64);
     }
 
     #[test]
@@ -177,12 +197,20 @@ mod tests {
             prop_assert_eq!(p100, s.max());
         }
 
-        /// Histogram counts conserve the sample count.
+        /// Histogram counts plus skipped NaNs conserve the sample count.
         #[test]
-        fn prop_histogram_total(xs in prop::collection::vec(-100f64..100.0, 0..100)) {
-            let s: Samples = xs.iter().copied().collect();
-            let h = s.histogram(-100.0, 100.0, 7);
+        fn prop_histogram_total(
+            xs in prop::collection::vec(-100f64..100.0, 0..100),
+            nans in 0usize..4,
+        ) {
+            let mut s: Samples = xs.iter().copied().collect();
+            for _ in 0..nans {
+                s.push(f64::NAN);
+            }
+            let (h, skipped) = s.histogram(-100.0, 100.0, 7);
             prop_assert_eq!(h.iter().sum::<u64>() as usize, xs.len());
+            prop_assert_eq!(skipped as usize, nans);
+            prop_assert_eq!(h.iter().sum::<u64>() + skipped, s.len() as u64);
         }
     }
 }
