@@ -7,10 +7,15 @@
 //! load-bearing.
 //!
 //! ```text
-//! cargo run --release -p experiments --bin ablation -- [--sets 200] [--seed 7] [--csv]
+//! cargo run --release -p experiments --bin ablation -- [--sets 200] [--seed 7] [--threads N] [--csv] [--metrics-out m.json] [--checkpoint ck.json] [--batch N] [--point-retries 1] [--fail-after N]
 //! ```
+//!
+//! Each (M, policy) pair is one sweep point under
+//! [`experiments::SweepDriver`]; every point reseeds its own RNG from
+//! `--seed`, so all policies face identical task sets and the output is
+//! byte-identical for any `--threads`.
 
-use experiments::Args;
+use experiments::{recorder, write_metrics, Args, SweepDriver};
 use pfair_core::sched::SchedConfig;
 use pfair_core::Policy;
 use pfair_model::TaskSet;
@@ -43,12 +48,52 @@ fn heavy_set(rng: &mut StdRng, m: u32) -> TaskSet {
     TaskSet::from_pairs(pairs).expect("valid")
 }
 
+const PROC_COUNTS: [u32; 5] = [2, 3, 4, 6, 8];
+
 fn main() {
     let args = Args::parse();
     let sets: usize = args.get_or("sets", 200);
     let seed: u64 = args.get_or("seed", 7);
+    let rec = recorder(&args);
 
-    eprintln!("ablation: {sets} full-utilization heavy task sets per M");
+    let mut driver = SweepDriver::new(&args, "ablation", format!("sets={sets} seed={seed}"));
+    eprintln!(
+        "ablation: {sets} full-utilization heavy task sets per M, {} threads",
+        driver.threads()
+    );
+    let points: Vec<(u32, Policy)> = PROC_COUNTS
+        .iter()
+        .flat_map(|&m| Policy::ALL.iter().map(move |&pol| (m, pol)))
+        .collect();
+    let keys: Vec<String> = points
+        .iter()
+        .map(|(m, pol)| format!("M={m} policy={}", pol.name()))
+        .collect();
+    let rows = driver.run(&keys, &rec, |i, _shard| {
+        let (m, pol) = points[i];
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut bad_sets = 0usize;
+        let mut total = 0u64;
+        let mut max_tardiness = 0u64;
+        for _ in 0..sets {
+            let set = heavy_set(&mut rng, m);
+            let horizon = (4 * set.hyperperiod()).min(20_000);
+            let mut sim = MultiSim::new(&set, SchedConfig::pd2(m).with_policy(pol));
+            let misses = sim.run(horizon).misses;
+            total += misses;
+            bad_sets += usize::from(misses > 0);
+            for miss in sim.scheduler().misses() {
+                max_tardiness = max_tardiness.max(miss.tardiness());
+            }
+        }
+        vec![
+            m.to_string(),
+            pol.name().to_string(),
+            format!("{bad_sets}/{sets}"),
+            total.to_string(),
+            max_tardiness.to_string(),
+        ]
+    });
     let mut table = Table::new(&[
         "M",
         "policy",
@@ -56,35 +101,13 @@ fn main() {
         "total misses",
         "max tardiness",
     ]);
-    for m in [2u32, 3, 4, 6, 8] {
-        for pol in Policy::ALL {
-            let mut rng = StdRng::seed_from_u64(seed);
-            let mut bad_sets = 0usize;
-            let mut total = 0u64;
-            let mut max_tardiness = 0u64;
-            for _ in 0..sets {
-                let set = heavy_set(&mut rng, m);
-                let horizon = (4 * set.hyperperiod()).min(20_000);
-                let mut sim = MultiSim::new(&set, SchedConfig::pd2(m).with_policy(pol));
-                let misses = sim.run(horizon).misses;
-                total += misses;
-                bad_sets += usize::from(misses > 0);
-                for miss in sim.scheduler().misses() {
-                    max_tardiness = max_tardiness.max(miss.tardiness());
-                }
-            }
-            table.row_owned(vec![
-                m.to_string(),
-                pol.name().to_string(),
-                format!("{bad_sets}/{sets}"),
-                total.to_string(),
-                max_tardiness.to_string(),
-            ]);
-        }
+    for row in rows.into_iter().flatten() {
+        table.row_owned(row);
     }
     if args.flag("csv") {
         print!("{}", table.to_csv());
     } else {
         print!("{}", table.render());
     }
+    write_metrics(&args, &rec);
 }

@@ -5,7 +5,8 @@
 //! cargo run --release -p experiments --bin faults -- [--tasks 10] [--util 2.5] \
 //!     [--sets 20] [--horizon 2000] [--seed 1] [--recovery none|shed|catchup|full] \
 //!     [--trace ft.json] [--trace-kind failstop] [--trace-level 0.25] \
-//!     [--csv] [--metrics-out m.json] [--checkpoint ck.json] [--point-retries 1] [--fail-after N]
+//!     [--threads N] [--csv] [--metrics-out m.json] [--checkpoint ck.json] \
+//!     [--batch N] [--point-retries 1] [--fail-after N]
 //! ```
 //!
 //! Each point fixes a fault type and an intensity level, generates `--sets`
@@ -28,10 +29,11 @@
 //! fault and recovery events included — that `verify_trace` can re-check
 //! offline.
 //!
-//! Exit codes: 0 success, 2 usage/checkpoint error, 3 simulated crash
-//! (`--fail-after`).
+//! Points run through [`experiments::SweepDriver`] (`--threads`,
+//! byte-identical output for any thread count). Exit codes: 0 success,
+//! 2 usage/checkpoint error, 3 simulated crash (`--fail-after`).
 
-use experiments::{recorder, write_metrics, Args, SweepRunner};
+use experiments::{recorder, write_metrics, Args, SweepDriver};
 use faults::{run_edf, run_pd2, run_pd2_traced, FaultConfig, RecoveryPolicy};
 use stats::{Table, Welford};
 use workload::TaskSetGenerator;
@@ -97,11 +99,18 @@ fn main() {
         }
     };
     let rec = recorder(&args);
-    let point_ns = rec.timer("faults.point_ns");
-    let edf_rejections = rec.counter("faults.edf_rejections");
-    let violations = rec.counter("faults.window_violations");
 
-    eprintln!("faults: N={n}, U={util}, {sets} sets per point, recovery={recovery}");
+    let mut driver = SweepDriver::new(
+        &args,
+        "faults",
+        format!(
+            "tasks={n} util={util} sets={sets} horizon={horizon} seed={seed} recovery={recovery}"
+        ),
+    );
+    eprintln!(
+        "faults: N={n}, U={util}, {sets} sets per point, recovery={recovery}, {} threads",
+        driver.threads()
+    );
 
     if let Some(tpath) = args.get("trace").map(str::to_string) {
         let kind: String = args.get_or("trace-kind", "failstop".to_string());
@@ -122,7 +131,7 @@ fn main() {
         let cfg = config_for(&kind, level, seed);
         let (out, trace) = run_pd2_traced(&tasks, m, cfg, policy, horizon);
         if let Some(v) = out.window_violation {
-            violations.incr();
+            rec.counter("faults.window_violations").incr();
             eprintln!("faults: Pfair window violation in the traced run: {v:?}");
         }
         if let Err(e) = std::fs::write(&tpath, trace.to_json()) {
@@ -135,13 +144,73 @@ fn main() {
             trace.events.len()
         );
     }
-    let mut runner = SweepRunner::new(
-        &args,
-        "faults",
-        format!(
-            "tasks={n} util={util} sets={sets} horizon={horizon} seed={seed} recovery={recovery}"
-        ),
-    );
+
+    let points: Vec<(&str, f64)> = std::iter::once(("none", 0.0))
+        .chain(
+            KINDS
+                .iter()
+                .flat_map(|&k| LEVELS.iter().map(move |&l| (k, l))),
+        )
+        .collect();
+    let keys: Vec<String> = points.iter().map(|(k, l)| format!("{k}@{l:.2}")).collect();
+    let rows = driver.run(&keys, &rec, |i, shard| {
+        let (kind, level) = points[i];
+        let edf_rejections = shard.counter("faults.edf_rejections");
+        let violations = shard.counter("faults.window_violations");
+        let mut pd2_miss = Welford::new();
+        let mut edf_miss = Welford::new();
+        let mut pd2_lag = 0.0f64;
+        let mut edf_lag = 0.0f64;
+        let mut edf_rejected = 0usize;
+        let mut shed = 0u64;
+        let mut trips = 0u64;
+        for s in 0..sets {
+            let set_seed = seed ^ ((s as u64) << 22);
+            let mut gen = TaskSetGenerator::new(n, util, set_seed);
+            let Ok(tasks) = gen.generate().to_quantum_tasks(1_000) else {
+                continue;
+            };
+            let m = tasks.min_processors();
+            let cfg = config_for(kind, level, set_seed);
+            let out = run_pd2(&tasks, m, cfg, policy, horizon);
+            pd2_miss.push(out.faults.miss_ratio());
+            pd2_lag = pd2_lag.max(out.faults.max_app_lag);
+            if let Some(r) = out.recovery {
+                shed += r.tasks_shed;
+                trips += r.catchup_trips;
+            }
+            if let Some(v) = out.window_violation {
+                violations.incr();
+                eprintln!("faults: Pfair window violation: {v:?}");
+            }
+            match run_edf(&tasks, m, cfg, horizon) {
+                Some(fm) => {
+                    edf_miss.push(fm.miss_ratio());
+                    edf_lag = edf_lag.max(fm.max_app_lag);
+                }
+                None => {
+                    edf_rejected += 1;
+                    edf_rejections.incr();
+                }
+            }
+        }
+        eprintln!(
+            "  {kind}@{level:.2}: PD2 miss {}  EDF miss {}  (EDF rejected {edf_rejected}/{sets})",
+            fmt_opt(&pd2_miss),
+            fmt_opt(&edf_miss)
+        );
+        vec![
+            kind.to_string(),
+            format!("{level:.2}"),
+            fmt_opt(&pd2_miss),
+            format!("{pd2_lag:.3}"),
+            fmt_opt(&edf_miss),
+            format!("{edf_lag:.3}"),
+            edf_rejected.to_string(),
+            shed.to_string(),
+            trips.to_string(),
+        ]
+    });
     let mut table = Table::new(&[
         "fault",
         "level",
@@ -153,71 +222,8 @@ fn main() {
         "shed",
         "catchup trips",
     ]);
-    let points = std::iter::once(("none", 0.0)).chain(
-        KINDS
-            .iter()
-            .flat_map(|&k| LEVELS.iter().map(move |&l| (k, l))),
-    );
-    for (kind, level) in points {
-        let row = runner.run_point(&format!("{kind}@{level:.2}"), || {
-            let _point = point_ns.start();
-            let mut pd2_miss = Welford::new();
-            let mut edf_miss = Welford::new();
-            let mut pd2_lag = 0.0f64;
-            let mut edf_lag = 0.0f64;
-            let mut edf_rejected = 0usize;
-            let mut shed = 0u64;
-            let mut trips = 0u64;
-            for s in 0..sets {
-                let set_seed = seed ^ ((s as u64) << 22);
-                let mut gen = TaskSetGenerator::new(n, util, set_seed);
-                let Ok(tasks) = gen.generate().to_quantum_tasks(1_000) else {
-                    continue;
-                };
-                let m = tasks.min_processors();
-                let cfg = config_for(kind, level, set_seed);
-                let out = run_pd2(&tasks, m, cfg, policy, horizon);
-                pd2_miss.push(out.faults.miss_ratio());
-                pd2_lag = pd2_lag.max(out.faults.max_app_lag);
-                if let Some(r) = out.recovery {
-                    shed += r.tasks_shed;
-                    trips += r.catchup_trips;
-                }
-                if let Some(v) = out.window_violation {
-                    violations.incr();
-                    eprintln!("faults: Pfair window violation: {v:?}");
-                }
-                match run_edf(&tasks, m, cfg, horizon) {
-                    Some(fm) => {
-                        edf_miss.push(fm.miss_ratio());
-                        edf_lag = edf_lag.max(fm.max_app_lag);
-                    }
-                    None => {
-                        edf_rejected += 1;
-                        edf_rejections.incr();
-                    }
-                }
-            }
-            eprintln!(
-                "  {kind}@{level:.2}: PD2 miss {}  EDF miss {}  (EDF rejected {edf_rejected}/{sets})",
-                fmt_opt(&pd2_miss),
-                fmt_opt(&edf_miss)
-            );
-            vec![
-                kind.to_string(),
-                format!("{level:.2}"),
-                fmt_opt(&pd2_miss),
-                format!("{pd2_lag:.3}"),
-                fmt_opt(&edf_miss),
-                format!("{edf_lag:.3}"),
-                edf_rejected.to_string(),
-                shed.to_string(),
-                trips.to_string(),
-            ]
-        });
-        if let Some(row) = row {
-            table.row_owned(row);
-        }
+    for row in rows.into_iter().flatten() {
+        table.row_owned(row);
     }
     if args.flag("csv") {
         print!("{}", table.to_csv());

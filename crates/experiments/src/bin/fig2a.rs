@@ -2,11 +2,16 @@
 //! processor, as a function of task count.
 //!
 //! ```text
-//! cargo run --release -p experiments --bin fig2a -- [--sets 100] [--horizon 1000000] [--seed 1] [--csv] [--metrics-out m.json] [--checkpoint ck.json] [--point-retries 1] [--fail-after N]
+//! cargo run --release -p experiments --bin fig2a -- [--sets 100] [--horizon 1000000] [--seed 1] [--threads 1] [--csv] [--metrics-out m.json] [--checkpoint ck.json] [--batch N] [--point-retries 1] [--fail-after N]
 //! ```
+//!
+//! This binary *measures wall time*, so its points default to running
+//! serially (`--threads 1`): concurrent measurement loops would contend
+//! for the very cores being timed and corrupt the numbers. `--threads`
+//! still works for smoke runs where the timings don't matter.
 
 use experiments::fig2::{measure_edf_observed, measure_pd2_observed, PAPER_TASK_COUNTS};
-use experiments::{recorder, write_metrics, Args, SweepRunner};
+use experiments::{recorder, write_metrics, Args, SweepDriver};
 use stats::{ci99_halfwidth, Table};
 
 fn main() {
@@ -16,34 +21,33 @@ fn main() {
     let horizon_slots: u64 = args.get_or("slots", 20_000);
     let seed: u64 = args.get_or("seed", 1);
     let rec = recorder(&args);
-    let point_ns = rec.timer("fig2a.point_ns");
 
-    eprintln!(
-        "fig2a: {sets} sets per N, EDF horizon {horizon_us}µs, PD2 horizon {horizon_slots} slots"
-    );
-    let mut runner = SweepRunner::new(
+    let mut driver = SweepDriver::serial_by_default(
         &args,
         "fig2a",
         format!("sets={sets} horizon={horizon_us} slots={horizon_slots} seed={seed}"),
     );
+    eprintln!(
+        "fig2a: {sets} sets per N, EDF horizon {horizon_us}µs, PD2 horizon {horizon_slots} slots, {} threads",
+        driver.threads()
+    );
+    let keys: Vec<String> = PAPER_TASK_COUNTS.iter().map(|n| format!("N={n}")).collect();
+    let rows = driver.run(&keys, &rec, |i, shard| {
+        let n = PAPER_TASK_COUNTS[i];
+        let edf = measure_edf_observed(n, sets, horizon_us, seed, shard);
+        let pd2 = measure_pd2_observed(n, 1, sets, horizon_slots, seed, shard);
+        eprintln!("  N={n}: EDF {:.3}µs  PD2 {:.3}µs", edf.mean(), pd2.mean());
+        vec![
+            n.to_string(),
+            format!("{:.3}", edf.mean()),
+            format!("{:.3}", ci99_halfwidth(&edf)),
+            format!("{:.3}", pd2.mean()),
+            format!("{:.3}", ci99_halfwidth(&pd2)),
+        ]
+    });
     let mut table = Table::new(&["N", "EDF (µs)", "±99%", "PD2 (µs)", "±99%"]);
-    for &n in &PAPER_TASK_COUNTS {
-        let row = runner.run_point(&format!("N={n}"), || {
-            let _point = point_ns.start();
-            let edf = measure_edf_observed(n, sets, horizon_us, seed, &rec);
-            let pd2 = measure_pd2_observed(n, 1, sets, horizon_slots, seed, &rec);
-            eprintln!("  N={n}: EDF {:.3}µs  PD2 {:.3}µs", edf.mean(), pd2.mean());
-            vec![
-                n.to_string(),
-                format!("{:.3}", edf.mean()),
-                format!("{:.3}", ci99_halfwidth(&edf)),
-                format!("{:.3}", pd2.mean()),
-                format!("{:.3}", ci99_halfwidth(&pd2)),
-            ]
-        });
-        if let Some(row) = row {
-            table.row_owned(row);
-        }
+    for row in rows.into_iter().flatten() {
+        table.row_owned(row);
     }
     if args.flag("csv") {
         print!("{}", table.to_csv());

@@ -2,11 +2,16 @@
 //! processors, as a function of task count.
 //!
 //! ```text
-//! cargo run --release -p experiments --bin fig2b -- [--sets 50] [--slots 20000] [--seed 1] [--csv] [--metrics-out m.json] [--checkpoint ck.json] [--point-retries 1] [--fail-after N]
+//! cargo run --release -p experiments --bin fig2b -- [--sets 50] [--slots 20000] [--seed 1] [--threads 1] [--csv] [--metrics-out m.json] [--checkpoint ck.json] [--batch N] [--point-retries 1] [--fail-after N]
 //! ```
+//!
+//! This binary *measures wall time*, so its points default to running
+//! serially (`--threads 1`): concurrent measurement loops would contend
+//! for the very cores being timed and corrupt the numbers. `--threads`
+//! still works for smoke runs where the timings don't matter.
 
 use experiments::fig2::{measure_pd2_observed, PAPER_PROC_COUNTS, PAPER_TASK_COUNTS};
-use experiments::{recorder, write_metrics, Args, SweepRunner};
+use experiments::{recorder, write_metrics, Args, SweepDriver};
 use stats::{ci99_halfwidth, Table};
 
 fn main() {
@@ -15,9 +20,16 @@ fn main() {
     let horizon_slots: u64 = args.get_or("slots", 20_000);
     let seed: u64 = args.get_or("seed", 1);
     let rec = recorder(&args);
-    let point_ns = rec.timer("fig2b.point_ns");
 
-    eprintln!("fig2b: {sets} sets per point, {horizon_slots} slots each");
+    let mut driver = SweepDriver::serial_by_default(
+        &args,
+        "fig2b",
+        format!("sets={sets} slots={horizon_slots} seed={seed}"),
+    );
+    eprintln!(
+        "fig2b: {sets} sets per point, {horizon_slots} slots each, {} threads",
+        driver.threads()
+    );
     let mut headers = vec!["N".to_string()];
     for &m in &PAPER_PROC_COUNTS {
         headers.push(format!("{m} procs (µs)"));
@@ -26,26 +38,20 @@ fn main() {
     let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
     let mut table = Table::new(&header_refs);
 
-    let mut runner = SweepRunner::new(
-        &args,
-        "fig2b",
-        format!("sets={sets} slots={horizon_slots} seed={seed}"),
-    );
-    for &n in &PAPER_TASK_COUNTS {
-        let row = runner.run_point(&format!("N={n}"), || {
-            let mut row = vec![n.to_string()];
-            for &m in &PAPER_PROC_COUNTS {
-                let _point = point_ns.start();
-                let w = measure_pd2_observed(n, m, sets, horizon_slots, seed, &rec);
-                row.push(format!("{:.3}", w.mean()));
-                row.push(format!("{:.3}", ci99_halfwidth(&w)));
-            }
-            eprintln!("  N={n}: {}", row[1..].join(" "));
-            row
-        });
-        if let Some(row) = row {
-            table.row_owned(row);
+    let keys: Vec<String> = PAPER_TASK_COUNTS.iter().map(|n| format!("N={n}")).collect();
+    let rows = driver.run(&keys, &rec, |i, shard| {
+        let n = PAPER_TASK_COUNTS[i];
+        let mut row = vec![n.to_string()];
+        for &m in &PAPER_PROC_COUNTS {
+            let w = measure_pd2_observed(n, m, sets, horizon_slots, seed, shard);
+            row.push(format!("{:.3}", w.mean()));
+            row.push(format!("{:.3}", ci99_halfwidth(&w)));
         }
+        eprintln!("  N={n}: {}", row[1..].join(" "));
+        row
+    });
+    for row in rows.into_iter().flatten() {
+        table.row_owned(row);
     }
     if args.flag("csv") {
         print!("{}", table.to_csv());

@@ -2,19 +2,21 @@
 //! utilization grows, with Equation (3) overhead inflation.
 //!
 //! ```text
-//! cargo run --release -p experiments --bin fig3 -- [--tasks 50] [--sets 200] [--points 15] [--seed 1] [--csv] [--metrics-out m.json] [--checkpoint ck.json] [--point-retries 1] [--fail-after N]
+//! cargo run --release -p experiments --bin fig3 -- [--tasks 50] [--sets 200] [--points 15] [--seed 1] [--threads N] [--csv] [--metrics-out m.json] [--checkpoint ck.json] [--batch N] [--point-retries 1] [--fail-after N]
 //! ```
 //!
 //! The paper's Fig. 3 panels are `--tasks 50 | 100 | 250 | 500`.
 //!
+//! Points run through [`experiments::SweepDriver`] — sharded across
+//! `--threads` workers with byte-identical output for any thread count.
 //! With `--metrics-out`, the exported JSON carries the sweep telemetry
-//! (per-point wall time, sets/sec, worker utilization, partition probe
-//! counts) plus scheduler-tick and dispatch counters from a short PD²
-//! simulation of one sampled task set per point, which cross-checks the
-//! analytic processor count against an actual miss-free schedule.
+//! (per-point latency, pool utilization, partition probe counts) plus
+//! scheduler-tick and dispatch counters from a short PD² simulation of
+//! one sampled task set per point, which cross-checks the analytic
+//! processor count against an actual miss-free schedule.
 
 use experiments::fig34::{paper_utilization_sweep, run_point_observed};
-use experiments::{recorder, write_metrics, Args, SweepRunner};
+use experiments::{recorder, write_metrics, Args, SweepDriver};
 use overhead::OverheadParams;
 use pfair_core::sched::SchedConfig;
 use sched_sim::MultiSim;
@@ -50,38 +52,42 @@ fn main() {
     let dist = CacheDelayDist::paper2003();
     let rec = recorder(&args);
 
-    eprintln!("fig3: N={n}, {sets} sets per point, {points} utilization points");
-    let mut runner = SweepRunner::new(
+    let mut driver = SweepDriver::new(
         &args,
         "fig3",
         format!("tasks={n} sets={sets} points={points} seed={seed}"),
     );
-    let mut table = Table::new(&["U", "PD2 procs", "±99%", "EDF-FF procs", "±99%"]);
-    for u in paper_utilization_sweep(n, points) {
-        let row = runner.run_point(&format!("U={u:.4}"), || {
-            let p = run_point_observed(n, u, sets, seed, &params, dist, &rec);
-            if rec.is_enabled() {
-                simulate_sample(n, u, seed, &rec);
-            }
-            eprintln!(
-                "  U={u:.2}: PD2 {:.2}  EDF-FF {:.2}  (failures: pd2={} edf={} panics={})",
-                p.pd2_procs.mean(),
-                p.edf_procs.mean(),
-                p.pd2_failures,
-                p.edf_failures,
-                p.worker_panics
-            );
-            vec![
-                format!("{u:.2}"),
-                format!("{:.2}", p.pd2_procs.mean()),
-                format!("{:.2}", ci99_halfwidth(&p.pd2_procs)),
-                format!("{:.2}", p.edf_procs.mean()),
-                format!("{:.2}", ci99_halfwidth(&p.edf_procs)),
-            ]
-        });
-        if let Some(row) = row {
-            table.row_owned(row);
+    eprintln!(
+        "fig3: N={n}, {sets} sets per point, {points} utilization points, {} threads",
+        driver.threads()
+    );
+    let utils = paper_utilization_sweep(n, points);
+    let keys: Vec<String> = utils.iter().map(|u| format!("U={u:.4}")).collect();
+    let rows = driver.run(&keys, &rec, |i, shard| {
+        let u = utils[i];
+        let p = run_point_observed(n, u, sets, seed, &params, dist, shard);
+        if shard.is_enabled() {
+            simulate_sample(n, u, seed, shard);
         }
+        eprintln!(
+            "  U={u:.2}: PD2 {:.2}  EDF-FF {:.2}  (failures: pd2={} edf={} panics={})",
+            p.pd2_procs.mean(),
+            p.edf_procs.mean(),
+            p.pd2_failures,
+            p.edf_failures,
+            p.worker_panics
+        );
+        vec![
+            format!("{u:.2}"),
+            format!("{:.2}", p.pd2_procs.mean()),
+            format!("{:.2}", ci99_halfwidth(&p.pd2_procs)),
+            format!("{:.2}", p.edf_procs.mean()),
+            format!("{:.2}", ci99_halfwidth(&p.edf_procs)),
+        ]
+    });
+    let mut table = Table::new(&["U", "PD2 procs", "±99%", "EDF-FF procs", "±99%"]);
+    for row in rows.into_iter().flatten() {
+        table.row_owned(row);
     }
     if args.flag("csv") {
         print!("{}", table.to_csv());

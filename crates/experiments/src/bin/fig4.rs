@@ -3,14 +3,16 @@
 //! mean task utilization grows.
 //!
 //! ```text
-//! cargo run --release -p experiments --bin fig4 -- [--tasks 50] [--sets 200] [--points 15] [--seed 1] [--csv] [--metrics-out m.json] [--checkpoint ck.json] [--point-retries 1] [--fail-after N]
+//! cargo run --release -p experiments --bin fig4 -- [--tasks 50] [--sets 200] [--points 15] [--seed 1] [--threads N] [--csv] [--metrics-out m.json] [--checkpoint ck.json] [--batch N] [--point-retries 1] [--fail-after N]
 //! ```
 //!
 //! The paper's panels are `--tasks 50` and `--tasks 100`; the x-axis is
-//! mean task utilization `U/N ∈ [1/30, 1/3]`.
+//! mean task utilization `U/N ∈ [1/30, 1/3]`. Points run through
+//! [`experiments::SweepDriver`] (`--threads`, byte-identical output for
+//! any thread count).
 
 use experiments::fig34::{paper_utilization_sweep, run_point_observed};
-use experiments::{recorder, write_metrics, Args, SweepRunner};
+use experiments::{recorder, write_metrics, Args, SweepDriver};
 use overhead::OverheadParams;
 use stats::{ci99_halfwidth, Table};
 use workload::CacheDelayDist;
@@ -25,12 +27,37 @@ fn main() {
     let dist = CacheDelayDist::paper2003();
     let rec = recorder(&args);
 
-    eprintln!("fig4: N={n}, {sets} sets per point");
-    let mut runner = SweepRunner::new(
+    let mut driver = SweepDriver::new(
         &args,
         "fig4",
         format!("tasks={n} sets={sets} points={points} seed={seed}"),
     );
+    eprintln!(
+        "fig4: N={n}, {sets} sets per point, {} threads",
+        driver.threads()
+    );
+    let utils = paper_utilization_sweep(n, points);
+    let keys: Vec<String> = utils.iter().map(|u| format!("U={u:.4}")).collect();
+    let rows = driver.run(&keys, &rec, |i, shard| {
+        let u = utils[i];
+        let p = run_point_observed(n, u, sets, seed, &params, dist, shard);
+        eprintln!(
+            "  u̅={:.4}: pfair {:.4}  edf {:.4}  ff {:.4}",
+            u / n as f64,
+            p.pfair_loss.mean(),
+            p.edf_loss.mean(),
+            p.ff_loss.mean()
+        );
+        vec![
+            format!("{:.4}", u / n as f64),
+            format!("{:.4}", p.pfair_loss.mean()),
+            format!("{:.4}", ci99_halfwidth(&p.pfair_loss)),
+            format!("{:.4}", p.edf_loss.mean()),
+            format!("{:.4}", ci99_halfwidth(&p.edf_loss)),
+            format!("{:.4}", p.ff_loss.mean()),
+            format!("{:.4}", ci99_halfwidth(&p.ff_loss)),
+        ]
+    });
     let mut table = Table::new(&[
         "mean util",
         "Pfair loss",
@@ -40,29 +67,8 @@ fn main() {
         "FF loss",
         "±99%",
     ]);
-    for u in paper_utilization_sweep(n, points) {
-        let row = runner.run_point(&format!("U={u:.4}"), || {
-            let p = run_point_observed(n, u, sets, seed, &params, dist, &rec);
-            eprintln!(
-                "  u̅={:.4}: pfair {:.4}  edf {:.4}  ff {:.4}",
-                u / n as f64,
-                p.pfair_loss.mean(),
-                p.edf_loss.mean(),
-                p.ff_loss.mean()
-            );
-            vec![
-                format!("{:.4}", u / n as f64),
-                format!("{:.4}", p.pfair_loss.mean()),
-                format!("{:.4}", ci99_halfwidth(&p.pfair_loss)),
-                format!("{:.4}", p.edf_loss.mean()),
-                format!("{:.4}", ci99_halfwidth(&p.edf_loss)),
-                format!("{:.4}", p.ff_loss.mean()),
-                format!("{:.4}", ci99_halfwidth(&p.ff_loss)),
-            ]
-        });
-        if let Some(row) = row {
-            table.row_owned(row);
-        }
+    for row in rows.into_iter().flatten() {
+        table.row_owned(row);
     }
     if args.flag("csv") {
         print!("{}", table.to_csv());

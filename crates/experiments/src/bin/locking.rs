@@ -9,21 +9,29 @@
 //! the quantum length.
 //!
 //! ```text
-//! cargo run --release -p experiments --bin locking -- [--procs 4] [--slots 20000] [--seed 1] [--csv]
+//! cargo run --release -p experiments --bin locking -- [--procs 4] [--slots 20000] [--seed 1] [--threads N] [--csv] [--metrics-out m.json] [--checkpoint ck.json] [--batch N] [--point-retries 1] [--fail-after N]
 //! ```
+//!
+//! The PD² schedule is computed once and shared read-only by every
+//! point; each critical-section range is one sweep point under
+//! [`experiments::SweepDriver`], with byte-identical output for any
+//! `--threads` (the lock simulator's draws are seeded per point).
 
-use experiments::Args;
+use experiments::{recorder, write_metrics, Args, SweepDriver};
 use pfair_core::sched::SchedConfig;
 use pfair_model::TaskSet;
 use pfair_sync::{pfair_blocking_bound, CsConfig, LockSim};
 use sched_sim::MultiSim;
 use stats::Table;
 
+const CS_RANGES: [(u64, u64); 5] = [(1, 10), (5, 50), (50, 200), (200, 500), (500, 900)];
+
 fn main() {
     let args = Args::parse();
     let m: u32 = args.get_or("procs", 4);
     let slots: u64 = args.get_or("slots", 20_000);
     let seed: u64 = args.get_or("seed", 1);
+    let rec = recorder(&args);
 
     // A fully loaded M-processor system of heavy tasks (worst contention:
     // all M processors busy every slot).
@@ -38,20 +46,22 @@ fn main() {
     sim.run(slots);
     let schedule = sim.schedule().unwrap().to_vec();
 
-    eprintln!(
-        "locking: M={m}, {} tasks, {slots} slots, 1 resource (max contention)",
-        set.len()
+    let mut driver = SweepDriver::new(
+        &args,
+        "locking",
+        format!("procs={m} slots={slots} seed={seed}"),
     );
-    let mut table = Table::new(&[
-        "CS len (µs)",
-        "completed",
-        "defer rate",
-        "mean spin (µs)",
-        "max spin (µs)",
-        "analytic bound",
-        "max latency (slots)",
-    ]);
-    for &(lo, hi) in &[(1u64, 10u64), (5, 50), (50, 200), (200, 500), (500, 900)] {
+    eprintln!(
+        "locking: M={m}, {} tasks, {slots} slots, 1 resource (max contention), {} threads",
+        set.len(),
+        driver.threads()
+    );
+    let keys: Vec<String> = CS_RANGES
+        .iter()
+        .map(|(lo, hi)| format!("cs={lo}-{hi}"))
+        .collect();
+    let rows = driver.run(&keys, &rec, |i, _shard| {
+        let (lo, hi) = CS_RANGES[i];
         let cfg = CsConfig {
             quantum_us: 1_000,
             resources: 1,
@@ -63,7 +73,7 @@ fn main() {
         let stats = lock.run_schedule(&schedule);
         assert_eq!(stats.boundary_violations, 0, "protocol invariant");
         let total = stats.completed + stats.deferrals;
-        table.row_owned(vec![
+        vec![
             format!("{lo}-{hi}"),
             stats.completed.to_string(),
             format!("{:.3}", stats.deferrals as f64 / total.max(1) as f64),
@@ -71,11 +81,24 @@ fn main() {
             stats.max_spin_us.to_string(),
             pfair_blocking_bound(m, hi).to_string(),
             stats.max_latency_slots.to_string(),
-        ]);
+        ]
+    });
+    let mut table = Table::new(&[
+        "CS len (µs)",
+        "completed",
+        "defer rate",
+        "mean spin (µs)",
+        "max spin (µs)",
+        "analytic bound",
+        "max latency (slots)",
+    ]);
+    for row in rows.into_iter().flatten() {
+        table.row_owned(row);
     }
     if args.flag("csv") {
         print!("{}", table.to_csv());
     } else {
         print!("{}", table.render());
     }
+    write_metrics(&args, &rec);
 }

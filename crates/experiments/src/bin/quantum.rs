@@ -2,11 +2,11 @@
 //! quantum varies, exposing the rounding-vs-overhead trade-off.
 //!
 //! ```text
-//! cargo run --release -p experiments --bin quantum -- [--tasks 50] [--util 10] [--sets 100] [--seed 1] [--csv] [--checkpoint ck.json] [--point-retries 1] [--fail-after N]
+//! cargo run --release -p experiments --bin quantum -- [--tasks 50] [--util 10] [--sets 100] [--seed 1] [--threads N] [--csv] [--metrics-out m.json] [--checkpoint ck.json] [--batch N] [--point-retries 1] [--fail-after N]
 //! ```
 
 use experiments::quantum::{run_quantum_point, QUANTUM_SWEEP_US};
-use experiments::{Args, SweepRunner};
+use experiments::{recorder, write_metrics, Args, SweepDriver};
 use overhead::OverheadParams;
 use stats::{ci99_halfwidth, Table};
 
@@ -17,31 +17,35 @@ fn main() {
     let sets: usize = args.get_or("sets", 100);
     let seed: u64 = args.get_or("seed", 1);
     let params = OverheadParams::paper2003();
+    let rec = recorder(&args);
 
-    eprintln!("quantum sweep: N={n}, U={util}, {sets} sets");
-    let mut runner = SweepRunner::new(
+    let mut driver = SweepDriver::new(
         &args,
         "quantum",
         format!("tasks={n} util={util} sets={sets} seed={seed}"),
     );
+    eprintln!(
+        "quantum sweep: N={n}, U={util}, {sets} sets, {} threads",
+        driver.threads()
+    );
+    let keys: Vec<String> = QUANTUM_SWEEP_US.iter().map(|q| format!("q={q}")).collect();
+    let rows = driver.run(&keys, &rec, |i, _shard| {
+        let p = run_quantum_point(n, util, sets, seed, &params, QUANTUM_SWEEP_US[i]);
+        vec![
+            p.quantum_us.to_string(),
+            format!("{:.2}", p.pd2_procs.mean()),
+            format!("{:.2}", ci99_halfwidth(&p.pd2_procs)),
+            p.failures.to_string(),
+        ]
+    });
     let mut table = Table::new(&["q (µs)", "PD2 procs", "±99%", "failures"]);
-    for &q in &QUANTUM_SWEEP_US {
-        let row = runner.run_point(&format!("q={q}"), || {
-            let p = run_quantum_point(n, util, sets, seed, &params, q);
-            vec![
-                p.quantum_us.to_string(),
-                format!("{:.2}", p.pd2_procs.mean()),
-                format!("{:.2}", ci99_halfwidth(&p.pd2_procs)),
-                p.failures.to_string(),
-            ]
-        });
-        if let Some(row) = row {
-            table.row_owned(row);
-        }
+    for row in rows.into_iter().flatten() {
+        table.row_owned(row);
     }
     if args.flag("csv") {
         print!("{}", table.to_csv());
     } else {
         print!("{}", table.render());
     }
+    write_metrics(&args, &rec);
 }

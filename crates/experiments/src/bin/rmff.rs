@@ -8,13 +8,19 @@
 //! toward 1.
 //!
 //! ```text
-//! cargo run --release -p experiments --bin rmff -- [--procs 8] [--tasks 24] [--sets 300] [--seed 1] [--csv]
+//! cargo run --release -p experiments --bin rmff -- [--procs 8] [--tasks 24] [--sets 300] [--seed 1] [--threads N] [--csv] [--metrics-out m.json] [--checkpoint ck.json] [--batch N] [--point-retries 1] [--fail-after N]
 //! ```
+//!
+//! Each `U/M` step is one sweep point under [`experiments::SweepDriver`];
+//! task sets derive from `(seed, set index)` alone, so the output is
+//! byte-identical for any `--threads`.
 
-use experiments::Args;
+use experiments::{recorder, write_metrics, Args, SweepDriver};
 use partition::{partition, EdfUtilization, Heuristic, RmExact, RmLiuLayland, SortOrder};
 use stats::Table;
 use workload::TaskSetGenerator;
+
+const STEPS: [u32; 8] = [3, 4, 5, 6, 7, 8, 9, 10];
 
 fn main() {
     let args = Args::parse();
@@ -22,18 +28,23 @@ fn main() {
     let n: usize = args.get_or("tasks", 24);
     let sets: usize = args.get_or("sets", 300);
     let seed: u64 = args.get_or("seed", 1);
+    let rec = recorder(&args);
 
-    eprintln!("rmff: M={m}, N={n}, {sets} sets per point");
-    let mut table = Table::new(&[
-        "U/M",
-        "RM-FF (LL)",
-        "RM-FF (exact)",
-        "EDF-FF",
-        "EDF-FFD",
-        "PD2",
-    ]);
-    for step in 3..=10 {
-        let frac = step as f64 / 10.0;
+    let mut driver = SweepDriver::new(
+        &args,
+        "rmff",
+        format!("procs={m} tasks={n} sets={sets} seed={seed}"),
+    );
+    eprintln!(
+        "rmff: M={m}, N={n}, {sets} sets per point, {} threads",
+        driver.threads()
+    );
+    let keys: Vec<String> = STEPS
+        .iter()
+        .map(|step| format!("U/M={:.1}", *step as f64 / 10.0))
+        .collect();
+    let rows = driver.run(&keys, &rec, |i, _shard| {
+        let frac = STEPS[i] as f64 / 10.0;
         let total = frac * m as f64;
         let mut accepted = [0usize; 5];
         for s in 0..sets {
@@ -76,18 +87,30 @@ fn main() {
             }
         }
         let pct = |a: usize| format!("{:.2}", a as f64 / sets as f64);
-        table.row_owned(vec![
+        vec![
             format!("{frac:.1}"),
             pct(accepted[0]),
             pct(accepted[1]),
             pct(accepted[2]),
             pct(accepted[3]),
             pct(accepted[4]),
-        ]);
+        ]
+    });
+    let mut table = Table::new(&[
+        "U/M",
+        "RM-FF (LL)",
+        "RM-FF (exact)",
+        "EDF-FF",
+        "EDF-FFD",
+        "PD2",
+    ]);
+    for row in rows.into_iter().flatten() {
+        table.row_owned(row);
     }
     if args.flag("csv") {
         print!("{}", table.to_csv());
     } else {
         print!("{}", table.render());
     }
+    write_metrics(&args, &rec);
 }

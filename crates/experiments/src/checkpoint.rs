@@ -1,31 +1,25 @@
-//! Crash-tolerant sweep execution.
+//! Crash-tolerant sweep state: the on-disk checkpoint format.
 //!
 //! Long figure sweeps die to OOM kills, power loss, and pathological task
-//! sets. [`SweepRunner`] makes every figure binary resumable:
+//! sets. This module owns the durable half of the story — the
+//! [`CheckpointState`] file format, its config fingerprint, and atomic
+//! persistence — while [`crate::driver::SweepDriver`] owns execution
+//! (sharded workers, retries, batched saves, resume replay):
 //!
-//! * each sweep point runs under [`std::panic::catch_unwind`] with a
-//!   bounded number of retries — one poisoned point cannot kill a
-//!   multi-hour run;
-//! * with `--checkpoint <file>`, the completed rows are written to disk
-//!   (atomically: temp file + rename) after *every* point, and a rerun
-//!   with the same flags serves those rows from the checkpoint instead of
-//!   recomputing them;
+//! * with `--checkpoint <file>`, completed rows are written to disk
+//!   (atomically: temp file + fsync + rename) after every batch of
+//!   points, and a rerun with the same flags serves those rows from the
+//!   checkpoint instead of recomputing them;
 //! * the checkpoint records the binary name and a config fingerprint;
 //!   resuming with different flags is a hard error (exit 2) rather than a
 //!   silently inconsistent table;
-//! * `--fail-after N` makes the binary exit with code 3 after `N` freshly
-//!   computed points — a deterministic crash for testing resume paths
-//!   (used by the CI smoke test).
 //!
 //! The row payload is deliberately `Vec<String>` — exactly what the
 //! binaries feed their [`stats::Table`]s — so a resumed run reproduces
 //! the uninterrupted run's output byte-for-byte.
 
 use serde::{Deserialize, Serialize};
-use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
-
-use crate::args::Args;
 
 /// One finished sweep point: its identity and its rendered table row.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -43,8 +37,47 @@ pub struct CheckpointState {
     pub binary: String,
     /// Fingerprint of the sweep-shaping flags.
     pub config: String,
-    /// Completed points, in completion order.
+    /// Completed points, in completion order (parallel runs complete
+    /// points out of sweep order; resume looks points up by key, so the
+    /// order carries no meaning).
     pub completed: Vec<CheckpointPoint>,
+}
+
+impl CheckpointState {
+    /// Loads the checkpoint at `path` if it exists — validating that it
+    /// belongs to this `binary` and `config` — or starts a fresh one.
+    ///
+    /// `config` should fingerprint every flag that shapes the sweep
+    /// (task count, sets, points, seed) and nothing presentational or
+    /// performance-only (`--threads` and `--batch` deliberately excluded:
+    /// a sweep interrupted at one thread count may resume at another).
+    pub fn open(path: Option<&Path>, binary: &str, config: &str) -> Result<Self, CheckpointError> {
+        match path {
+            Some(p) if p.exists() => {
+                let loaded = load_state(p)?;
+                if loaded.binary != binary || loaded.config != config {
+                    return Err(CheckpointError::Mismatch {
+                        found: (loaded.binary, loaded.config),
+                        expected: (binary.to_string(), config.to_string()),
+                    });
+                }
+                Ok(loaded)
+            }
+            _ => Ok(CheckpointState {
+                binary: binary.to_string(),
+                config: config.to_string(),
+                completed: Vec::new(),
+            }),
+        }
+    }
+
+    /// The completed row for `key`, if this checkpoint holds one.
+    pub fn lookup(&self, key: &str) -> Option<&[String]> {
+        self.completed
+            .iter()
+            .find(|p| p.key == key)
+            .map(|p| p.row.as_slice())
+    }
 }
 
 /// Why a checkpoint file could not be used.
@@ -80,166 +113,13 @@ impl std::fmt::Display for CheckpointError {
 
 impl std::error::Error for CheckpointError {}
 
-/// Executes sweep points with retries, checkpointing, and deterministic
-/// crash injection. See the module docs for the contract.
-#[derive(Debug)]
-pub struct SweepRunner {
-    path: Option<PathBuf>,
-    state: CheckpointState,
-    /// Extra attempts after a panicking first attempt.
-    retries: u64,
-    /// Exit 3 after this many freshly computed points (0 = disabled).
-    fail_after: u64,
-    fresh: u64,
-    cached: u64,
-    failed: u64,
-}
-
-impl SweepRunner {
-    /// Builds a runner from the standard flags: `--checkpoint <file>`,
-    /// `--point-retries <n>` (default 1), `--fail-after <n>`.
-    ///
-    /// `config` should fingerprint every flag that shapes the sweep
-    /// (task count, sets, points, seed) and nothing presentational.
-    /// Exits with code 2 on an unusable checkpoint file.
-    pub fn new(args: &Args, binary: &str, config: String) -> Self {
-        let path = args.get("checkpoint").map(PathBuf::from);
-        let retries: u64 = args.get_or("point-retries", 1);
-        let fail_after: u64 = args.get_or("fail-after", 0);
-        match Self::with_parts(path, binary, config, retries, fail_after) {
-            Ok(r) => r,
-            Err(e) => {
-                eprintln!("{binary}: {e}");
-                std::process::exit(2);
-            }
-        }
-    }
-
-    /// Fallible constructor (testable; [`SweepRunner::new`] exits instead).
-    pub fn with_parts(
-        path: Option<PathBuf>,
-        binary: &str,
-        config: String,
-        retries: u64,
-        fail_after: u64,
-    ) -> Result<Self, CheckpointError> {
-        let fresh_state = CheckpointState {
-            binary: binary.to_string(),
-            config: config.clone(),
-            completed: Vec::new(),
-        };
-        let state = match &path {
-            Some(p) if p.exists() => {
-                let loaded = load_state(p)?;
-                if loaded.binary != binary || loaded.config != config {
-                    return Err(CheckpointError::Mismatch {
-                        found: (loaded.binary, loaded.config),
-                        expected: (binary.to_string(), config),
-                    });
-                }
-                loaded
-            }
-            _ => fresh_state,
-        };
-        Ok(SweepRunner {
-            path,
-            state,
-            retries,
-            fail_after,
-            fresh: 0,
-            cached: 0,
-            failed: 0,
-        })
-    }
-
-    /// Runs one sweep point. Returns the point's table row, or `None` if
-    /// every attempt panicked (the failure is reported on stderr and the
-    /// sweep continues; a later resume retries the point).
-    ///
-    /// A point whose `key` is already in the checkpoint is served from it
-    /// without calling `compute`.
-    pub fn run_point<F>(&mut self, key: &str, compute: F) -> Option<Vec<String>>
-    where
-        F: FnMut() -> Vec<String>,
-    {
-        if let Some(done) = self.state.completed.iter().find(|p| p.key == key) {
-            self.cached += 1;
-            eprintln!("  [{key}] restored from checkpoint");
-            return Some(done.row.clone());
-        }
-        let mut compute = compute;
-        for attempt in 0..=self.retries {
-            match catch_unwind(AssertUnwindSafe(&mut compute)) {
-                Ok(row) => {
-                    self.state.completed.push(CheckpointPoint {
-                        key: key.to_string(),
-                        row: row.clone(),
-                    });
-                    self.save();
-                    self.fresh += 1;
-                    if self.fail_after > 0 && self.fresh >= self.fail_after {
-                        eprintln!(
-                            "--fail-after {}: simulated crash after point [{key}]",
-                            self.fail_after
-                        );
-                        std::process::exit(3);
-                    }
-                    return Some(row);
-                }
-                Err(payload) => {
-                    eprintln!(
-                        "  [{key}] attempt {}/{} panicked: {}",
-                        attempt + 1,
-                        self.retries + 1,
-                        panic_message(payload.as_ref())
-                    );
-                }
-            }
-        }
-        self.failed += 1;
-        eprintln!(
-            "  [{key}] failed after {} attempts; skipping (rerun to retry)",
-            self.retries + 1
-        );
-        None
-    }
-
-    /// Points served from the checkpoint so far.
-    pub fn cached_points(&self) -> u64 {
-        self.cached
-    }
-
-    /// Points computed fresh so far.
-    pub fn fresh_points(&self) -> u64 {
-        self.fresh
-    }
-
-    /// Points that exhausted their retries.
-    pub fn failed_points(&self) -> u64 {
-        self.failed
-    }
-
-    /// Writes the checkpoint (no-op without `--checkpoint`). Atomic:
-    /// temp file in the same directory, then rename.
-    fn save(&self) {
-        let Some(path) = &self.path else {
-            return;
-        };
-        if let Err(e) = save_state(path, &self.state) {
-            // Losing checkpoints silently would defeat the feature.
-            eprintln!("{}: {e}", self.state.binary);
-            std::process::exit(2);
-        }
-    }
-}
-
-fn load_state(path: &Path) -> Result<CheckpointState, CheckpointError> {
+pub(crate) fn load_state(path: &Path) -> Result<CheckpointState, CheckpointError> {
     let text =
         std::fs::read_to_string(path).map_err(|e| CheckpointError::Io(format!("{path:?}: {e}")))?;
     serde_json::from_str(&text).map_err(|e| CheckpointError::Corrupt(format!("{path:?}: {e}")))
 }
 
-fn save_state(path: &Path, state: &CheckpointState) -> Result<(), CheckpointError> {
+pub(crate) fn save_state(path: &Path, state: &CheckpointState) -> Result<(), CheckpointError> {
     use std::io::Write;
     let text =
         serde_json::to_string_pretty(state).map_err(|e| CheckpointError::Io(e.to_string()))?;
@@ -261,7 +141,7 @@ fn save_state(path: &Path, state: &CheckpointState) -> Result<(), CheckpointErro
     std::fs::rename(&tmp, path).map_err(|e| CheckpointError::Io(format!("{path:?}: {e}")))
 }
 
-fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
     if let Some(s) = payload.downcast_ref::<&str>() {
         s
     } else if let Some(s) = payload.downcast_ref::<String>() {
@@ -279,28 +159,34 @@ mod tests {
         std::env::temp_dir().join(format!("pfair-ckpt-{}-{tag}.json", std::process::id()))
     }
 
+    fn state(binary: &str, config: &str, keys: &[&str]) -> CheckpointState {
+        CheckpointState {
+            binary: binary.into(),
+            config: config.into(),
+            completed: keys
+                .iter()
+                .map(|k| CheckpointPoint {
+                    key: k.to_string(),
+                    row: vec![k.to_string(), "1.00".into()],
+                })
+                .collect(),
+        }
+    }
+
     #[test]
-    fn rows_round_trip_through_the_checkpoint_file() {
+    fn state_round_trips_through_the_checkpoint_file() {
         let path = temp_path("roundtrip");
         let _ = std::fs::remove_file(&path);
-        let mut r =
-            SweepRunner::with_parts(Some(path.clone()), "figX", "n=5".into(), 0, 0).unwrap();
-        let row = r
-            .run_point("U=1", || vec!["1".into(), "2.00".into()])
-            .unwrap();
-        assert_eq!(row, vec!["1".to_string(), "2.00".to_string()]);
-        assert_eq!(r.fresh_points(), 1);
+        // No file yet: open starts fresh.
+        let fresh = CheckpointState::open(Some(&path), "figX", "n=5").unwrap();
+        assert!(fresh.completed.is_empty());
 
-        // A second runner over the same file serves the row without
-        // computing: the closure would panic if called.
-        let mut r2 =
-            SweepRunner::with_parts(Some(path.clone()), "figX", "n=5".into(), 0, 0).unwrap();
-        let cached = r2
-            .run_point("U=1", || panic!("must not recompute"))
-            .unwrap();
-        assert_eq!(cached, row);
-        assert_eq!(r2.cached_points(), 1);
-        assert_eq!(r2.fresh_points(), 0);
+        let s = state("figX", "n=5", &["U=1", "U=2"]);
+        save_state(&path, &s).unwrap();
+        let back = CheckpointState::open(Some(&path), "figX", "n=5").unwrap();
+        assert_eq!(back, s);
+        assert_eq!(back.lookup("U=2"), Some(&["U=2".into(), "1.00".into()][..]));
+        assert_eq!(back.lookup("U=9"), None);
         let _ = std::fs::remove_file(&path);
     }
 
@@ -311,12 +197,8 @@ mod tests {
         // The sibling is what `with_extension("tmp")` naming would clobber
         // (exactly what a same-stem `.csv` checkpoint's temp file is).
         std::fs::write(&sibling, "precious").unwrap();
-        let state = CheckpointState {
-            binary: "figX".into(),
-            config: "n=5".into(),
-            completed: Vec::new(),
-        };
-        save_state(&path, &state).unwrap();
+        let s = state("figX", "n=5", &[]);
+        save_state(&path, &s).unwrap();
         assert_eq!(
             std::fs::read_to_string(&sibling).unwrap(),
             "precious",
@@ -328,7 +210,7 @@ mod tests {
             !PathBuf::from(tmp_name).exists(),
             "temp file must be renamed away"
         );
-        assert_eq!(load_state(&path).unwrap(), state);
+        assert_eq!(load_state(&path).unwrap(), s);
         let _ = std::fs::remove_file(&path);
         let _ = std::fs::remove_file(&sibling);
     }
@@ -337,14 +219,10 @@ mod tests {
     fn mismatched_config_is_rejected() {
         let path = temp_path("mismatch");
         let _ = std::fs::remove_file(&path);
-        let mut r =
-            SweepRunner::with_parts(Some(path.clone()), "figX", "n=5".into(), 0, 0).unwrap();
-        r.run_point("U=1", || vec!["1".into()]);
-        let err =
-            SweepRunner::with_parts(Some(path.clone()), "figX", "n=6".into(), 0, 0).unwrap_err();
+        save_state(&path, &state("figX", "n=5", &["U=1"])).unwrap();
+        let err = CheckpointState::open(Some(&path), "figX", "n=6").unwrap_err();
         assert!(matches!(err, CheckpointError::Mismatch { .. }));
-        let err =
-            SweepRunner::with_parts(Some(path.clone()), "figY", "n=5".into(), 0, 0).unwrap_err();
+        let err = CheckpointState::open(Some(&path), "figY", "n=5").unwrap_err();
         assert!(matches!(err, CheckpointError::Mismatch { .. }));
         let _ = std::fs::remove_file(&path);
     }
@@ -353,44 +231,14 @@ mod tests {
     fn corrupt_file_is_rejected() {
         let path = temp_path("corrupt");
         std::fs::write(&path, "not json at all {").unwrap();
-        let err =
-            SweepRunner::with_parts(Some(path.clone()), "figX", "n=5".into(), 0, 0).unwrap_err();
+        let err = CheckpointState::open(Some(&path), "figX", "n=5").unwrap_err();
         assert!(matches!(err, CheckpointError::Corrupt(_)));
         let _ = std::fs::remove_file(&path);
     }
 
     #[test]
-    fn panicking_point_is_retried_then_skipped() {
-        let mut r = SweepRunner::with_parts(None, "figX", String::new(), 2, 0).unwrap();
-        let mut calls = 0;
-        // Succeeds on the final allowed attempt.
-        let row = r.run_point("flaky", || {
-            calls += 1;
-            if calls < 3 {
-                panic!("transient failure {calls}");
-            }
-            vec!["ok".into()]
-        });
-        assert_eq!(row, Some(vec!["ok".to_string()]));
-        assert_eq!(calls, 3);
-
-        // Exhausts every attempt.
-        let mut always = 0;
-        let row = r.run_point("doomed", || {
-            always += 1;
-            panic!("permanent failure");
-        });
-        assert_eq!(row, None);
-        assert_eq!(always, 3);
-        assert_eq!(r.failed_points(), 1);
-    }
-
-    #[test]
     fn checkpointing_is_optional() {
-        let mut r = SweepRunner::with_parts(None, "figX", String::new(), 0, 0).unwrap();
-        assert_eq!(
-            r.run_point("k", || vec!["v".into()]),
-            Some(vec!["v".to_string()])
-        );
+        let s = CheckpointState::open(None, "figX", "").unwrap();
+        assert!(s.completed.is_empty());
     }
 }

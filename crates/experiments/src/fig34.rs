@@ -58,7 +58,8 @@ pub struct SchedPoint {
     pub worker_panics: usize,
 }
 
-/// Merges the accumulators of `other` into `self` (parallel aggregation).
+/// Merges the accumulators of `other` into `self` (per-set scratch
+/// points fold into the point total in set order).
 impl SchedPoint {
     fn merge(&mut self, other: &SchedPoint) {
         self.pd2_procs.merge(&other.pd2_procs);
@@ -72,11 +73,12 @@ impl SchedPoint {
     }
 }
 
-/// Runs one (N, U) point over `sets` random task sets, fanning the sets
-/// out across worker threads. Every set's generator and delay draws derive
-/// from `(seed, set index)` alone, so the sampled values are independent
-/// of the thread count (the aggregates are deterministic up to
-/// floating-point merge order).
+/// Runs one (N, U) point over `sets` random task sets, serially and in
+/// set order. Every set's generator and delay draws derive from
+/// `(seed, set index)` alone and the Welford merges happen in a fixed
+/// order, so the point is bit-for-bit deterministic. Parallelism lives a
+/// level up: [`crate::driver::SweepDriver`] shards whole points across
+/// its worker pool (points are coarser and need no cross-thread merge).
 pub fn run_point(
     n: usize,
     total_util: f64,
@@ -96,8 +98,9 @@ pub fn run_point(
     )
 }
 
-/// [`run_point`] with instrumentation: per-set wall time, busy time per
-/// worker (for utilization), and PD²/EDF failure counters land in `rec`.
+/// [`run_point`] with instrumentation: per-set wall time and PD²/EDF
+/// failure counters land in `rec` (under the driver, `rec` is the
+/// calling worker's private shard, so no recording here contends).
 pub fn run_point_observed(
     n: usize,
     total_util: f64,
@@ -107,81 +110,45 @@ pub fn run_point_observed(
     dist: CacheDelayDist,
     rec: &obs::Recorder,
 ) -> SchedPoint {
-    let workers = std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(1)
-        .min(sets.max(1));
-    let point_started = std::time::Instant::now();
-    let point_ns = rec.timer("fig34.point_ns");
     let set_ns = rec.timer("fig34.set_ns");
-    let busy_before_ns = set_ns.total_ns();
     let sets_done = rec.counter("fig34.sets");
     let pd2_failures = rec.counter("fig34.pd2_failures");
     let edf_failures = rec.counter("fig34.edf_failures");
     let worker_panics = rec.counter("fig34.worker_panics");
     let pobs = PartitionObs::new(rec);
-    let merged = std::sync::Mutex::new(SchedPoint {
+    let mut point = SchedPoint {
         total_util,
         ..SchedPoint::default()
-    });
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| {
-                let mut local = SchedPoint::default();
-                loop {
-                    let s = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                    if s >= sets {
-                        break;
-                    }
-                    let _span = set_ns.start();
-                    // A panic on one pathological set becomes a counted,
-                    // per-set failure instead of poisoning the whole
-                    // point: the worker keeps draining the queue. Each
-                    // set fills its own scratch point, merged only on
-                    // success, so a mid-set panic cannot leak partial
-                    // Welford samples into the aggregates.
-                    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                        let mut scratch = SchedPoint::default();
-                        run_one_set(n, total_util, s, seed, params, dist, &pobs, &mut scratch);
-                        scratch
-                    }));
-                    match outcome {
-                        Ok(scratch) => local.merge(&scratch),
-                        Err(payload) => {
-                            local.worker_panics += 1;
-                            worker_panics.incr();
-                            let msg = payload
-                                .downcast_ref::<String>()
-                                .map(String::as_str)
-                                .or_else(|| payload.downcast_ref::<&str>().copied())
-                                .unwrap_or("<non-string panic payload>");
-                            eprintln!("fig34: set {s} at U={total_util:.2} panicked: {msg}");
-                        }
-                    }
-                    sets_done.incr();
-                }
-                pd2_failures.add(local.pd2_failures as u64);
-                edf_failures.add(local.edf_failures as u64);
-                merged
-                    .lock()
-                    .unwrap_or_else(std::sync::PoisonError::into_inner)
-                    .merge(&local);
-            });
+    };
+    for s in 0..sets {
+        let _span = set_ns.start();
+        // A panic on one pathological set becomes a counted, per-set
+        // failure instead of poisoning the whole point. Each set fills
+        // its own scratch point, merged only on success, so a mid-set
+        // panic cannot leak partial Welford samples into the aggregates.
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut scratch = SchedPoint::default();
+            run_one_set(n, total_util, s, seed, params, dist, &pobs, &mut scratch);
+            scratch
+        }));
+        match outcome {
+            Ok(scratch) => point.merge(&scratch),
+            Err(payload) => {
+                point.worker_panics += 1;
+                worker_panics.incr();
+                let msg = payload
+                    .downcast_ref::<String>()
+                    .map(String::as_str)
+                    .or_else(|| payload.downcast_ref::<&str>().copied())
+                    .unwrap_or("<non-string panic payload>");
+                eprintln!("fig34: set {s} at U={total_util:.2} panicked: {msg}");
+            }
         }
-    });
-    // Point-level derived telemetry: wall time, throughput, and how busy
-    // the worker pool was (summed per-set busy time over wall × workers).
-    let wall_ns = point_started.elapsed().as_nanos().max(1) as u64;
-    point_ns.record_ns(wall_ns);
-    let busy_ns = set_ns.total_ns() - busy_before_ns;
-    rec.histogram("fig34.sets_per_sec", &[1, 10, 100, 1_000, 10_000, 100_000])
-        .record((sets as f64 / (wall_ns as f64 * 1e-9)) as u64);
-    rec.histogram("fig34.worker_util_pct", &[10, 25, 50, 75, 90, 100])
-        .record((100.0 * busy_ns as f64 / (wall_ns as f64 * workers as f64)).min(100.0) as u64);
-    merged
-        .into_inner()
-        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        sets_done.incr();
+    }
+    pd2_failures.add(point.pd2_failures as u64);
+    edf_failures.add(point.edf_failures as u64);
+    point
 }
 
 /// Processes a single random task set into `point` (a per-set scratch

@@ -18,23 +18,27 @@
 //! flags (see `--help`); defaults are sized so the full suite runs in
 //! minutes on a laptop, with paper-scale counts available via flags.
 //!
-//! The sweep binaries (`fig2a`, `fig2b`, `fig3`, `fig4`, `quantum`,
-//! `faults`) are crash-tolerant: `--checkpoint <file>` persists every
-//! completed point atomically and resumes an interrupted run; sweep
-//! points run under `catch_unwind` with `--point-retries` (see
-//! [`checkpoint`]). `fig5` and `dhall` are single-shot demonstrations
-//! and intentionally have no checkpoint support.
+//! Every sweep binary runs its points through [`driver::SweepDriver`]:
+//! points shard across `--threads N` workers (default: all cores) with
+//! output byte-identical for any thread count, and `--checkpoint <file>`
+//! persists every completed batch atomically so an interrupted run
+//! resumes where it left off; sweep points run under `catch_unwind`
+//! with `--point-retries` (see [`driver`] and [`checkpoint`]). `fig5`,
+//! `dhall`, and `show` are single-shot demonstrations and intentionally
+//! have neither a pool nor checkpoint support.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod args;
 pub mod checkpoint;
+pub mod driver;
 pub mod fig2;
 pub mod fig34;
 pub mod metrics;
 pub mod quantum;
 
 pub use args::Args;
-pub use checkpoint::{CheckpointPoint, CheckpointState, SweepRunner};
+pub use checkpoint::{CheckpointPoint, CheckpointState};
+pub use driver::SweepDriver;
 pub use metrics::{recorder, write_metrics};

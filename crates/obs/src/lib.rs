@@ -56,6 +56,26 @@ pub const DEFAULT_NS_BUCKETS: [u64; 13] = [
     16_000_000_000,
 ];
 
+/// Number of explicit log2 bucket upper bounds (`2^0 … 2^62`); one more
+/// implicit overflow bucket catches `(2^62, u64::MAX]`.
+const LOG2_BOUND_COUNT: usize = 63;
+
+/// Upper bounds of the log2 mode: successive powers of two.
+fn log2_bounds() -> Vec<u64> {
+    (0..LOG2_BOUND_COUNT as u32).map(|i| 1u64 << i).collect()
+}
+
+/// Bucket index of `v` under log2 bounds: the smallest `i` with
+/// `v ≤ 2^i`, or the overflow bucket. Pure bit math — no search.
+#[inline]
+fn log2_index(v: u64) -> usize {
+    if v <= 1 {
+        0
+    } else {
+        (64 - (v - 1).leading_zeros() as usize).min(LOG2_BOUND_COUNT)
+    }
+}
+
 #[derive(Default)]
 struct RecorderInner {
     counters: Mutex<Vec<(String, Arc<AtomicU64>)>>,
@@ -119,23 +139,75 @@ impl Recorder {
     /// A histogram named `name` with the given bucket upper bounds
     /// (ascending; an implicit overflow bucket catches the rest).
     pub fn histogram(&self, name: &str, bounds: &[u64]) -> Histogram {
-        let Some(inner) = &self.inner else {
-            return Histogram { cell: None };
-        };
         assert!(
             bounds.windows(2).all(|w| w[0] < w[1]),
             "histogram bounds must be strictly ascending"
         );
+        self.hist_cell(name, || HistInner::new(bounds))
+    }
+
+    /// A histogram in the opt-in log2 mode: bucket upper bounds are the
+    /// powers of two `2^0 … 2^62` plus an overflow bucket, so one
+    /// instrument spans nanoseconds to whole seconds at a constant ≤2×
+    /// relative error — tail percentiles without a thousand fixed buckets.
+    /// Recording computes the bucket with bit math instead of a search.
+    pub fn log2_histogram(&self, name: &str) -> Histogram {
+        self.hist_cell(name, HistInner::new_log2)
+    }
+
+    fn hist_cell(&self, name: &str, make: impl FnOnce() -> HistInner) -> Histogram {
+        let Some(inner) = &self.inner else {
+            return Histogram { cell: None };
+        };
         let mut histograms = inner.histograms.lock().expect("obs registry poisoned");
         let cell = match histograms.iter().find(|(n, _)| n == name) {
             Some((_, h)) => Arc::clone(h),
             None => {
-                let h = Arc::new(HistInner::new(bounds));
+                let h = Arc::new(make());
                 histograms.push((name.to_string(), Arc::clone(&h)));
                 h
             }
         };
         Histogram { cell: Some(cell) }
+    }
+
+    /// Folds a snapshot from another recorder into this one: counters add,
+    /// histograms merge bucket-wise (instruments are created on first
+    /// sight). This is how per-worker recorder shards are combined after a
+    /// parallel sweep — workers record into private shards with no
+    /// cross-thread contention, and the driver absorbs them once at the
+    /// end. A snapshot histogram whose bounds disagree with an existing
+    /// same-named instrument is reported on stderr and skipped.
+    pub fn absorb(&self, snap: &Snapshot) {
+        if self.inner.is_none() {
+            return;
+        }
+        for c in &snap.counters {
+            self.counter(&c.name).add(c.value);
+        }
+        for h in &snap.histograms {
+            let hist = self.hist_cell(&h.name, || HistInner {
+                bounds: h.bounds.clone().into(),
+                counts: (0..=h.bounds.len()).map(|_| AtomicU64::new(0)).collect(),
+                count: AtomicU64::new(0),
+                sum: AtomicU64::new(0),
+                min: AtomicU64::new(u64::MAX),
+                max: AtomicU64::new(0),
+                log2: h.bounds == log2_bounds(),
+            });
+            let cell = hist
+                .cell
+                .as_ref()
+                .expect("enabled recorder hands out live cells");
+            if *cell.bounds != *h.bounds {
+                eprintln!(
+                    "obs: absorb skipped histogram `{}`: bucket bounds disagree",
+                    h.name
+                );
+                continue;
+            }
+            cell.absorb_snap(h);
+        }
     }
 
     /// A nanosecond timer: a histogram over [`DEFAULT_NS_BUCKETS`] whose
@@ -215,6 +287,8 @@ struct HistInner {
     sum: AtomicU64,
     min: AtomicU64,
     max: AtomicU64,
+    /// Log2 mode: bucket lookup by bit math instead of binary search.
+    log2: bool,
 }
 
 impl HistInner {
@@ -226,16 +300,43 @@ impl HistInner {
             sum: AtomicU64::new(0),
             min: AtomicU64::new(u64::MAX),
             max: AtomicU64::new(0),
+            log2: false,
+        }
+    }
+
+    fn new_log2() -> Self {
+        HistInner {
+            log2: true,
+            ..Self::new(&log2_bounds())
         }
     }
 
     fn record(&self, v: u64) {
-        let idx = self.bounds.partition_point(|&b| b < v);
+        let idx = if self.log2 {
+            log2_index(v)
+        } else {
+            self.bounds.partition_point(|&b| b < v)
+        };
         self.counts[idx].fetch_add(1, Ordering::Relaxed);
         self.count.fetch_add(1, Ordering::Relaxed);
         self.sum.fetch_add(v, Ordering::Relaxed);
         self.min.fetch_min(v, Ordering::Relaxed);
         self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Adds a same-bounds snapshot's accumulators into this instrument.
+    fn absorb_snap(&self, snap: &HistogramSnap) {
+        debug_assert_eq!(*self.bounds, *snap.bounds);
+        if snap.count == 0 {
+            return;
+        }
+        for (cell, &c) in self.counts.iter().zip(&snap.counts) {
+            cell.fetch_add(c, Ordering::Relaxed);
+        }
+        self.count.fetch_add(snap.count, Ordering::Relaxed);
+        self.sum.fetch_add(snap.sum, Ordering::Relaxed);
+        self.min.fetch_min(snap.min, Ordering::Relaxed);
+        self.max.fetch_max(snap.max, Ordering::Relaxed);
     }
 
     fn snap(&self, name: &str) -> HistogramSnap {
@@ -381,6 +482,27 @@ impl HistogramSnap {
             self.sum as f64 / self.count as f64
         }
     }
+
+    /// Upper-bound estimate of the `q`-quantile (`q ∈ [0, 1]`), or `None`
+    /// for an empty histogram: the upper bound of the first bucket whose
+    /// cumulative count reaches `⌈q·count⌉`, clamped to the observed
+    /// min/max. Under log2 buckets the estimate is within 2× of the true
+    /// value — adequate for tail-latency reporting.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut cum = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            cum += c;
+            if cum >= rank {
+                let hi = self.bounds.get(i).copied().unwrap_or(self.max);
+                return Some(hi.clamp(self.min, self.max));
+            }
+        }
+        Some(self.max)
+    }
 }
 
 /// Serializable snapshot of every instrument a recorder handed out.
@@ -517,5 +639,132 @@ mod tests {
     fn unsorted_bounds_panic() {
         let rec = Recorder::enabled();
         let _ = rec.histogram("bad", &[10, 5]);
+    }
+
+    #[test]
+    fn log2_bucket_boundaries() {
+        // Every value must land in the first power-of-two bucket that
+        // covers it: bucket i has upper bound 2^i.
+        assert_eq!(log2_index(0), 0);
+        assert_eq!(log2_index(1), 0);
+        assert_eq!(log2_index(2), 1);
+        assert_eq!(log2_index(3), 2);
+        assert_eq!(log2_index(4), 2);
+        assert_eq!(log2_index(5), 3);
+        assert_eq!(log2_index(1 << 20), 20);
+        assert_eq!(log2_index((1 << 20) + 1), 21);
+        assert_eq!(log2_index(1 << 62), 62);
+        assert_eq!(log2_index((1 << 62) + 1), LOG2_BOUND_COUNT); // overflow
+        assert_eq!(log2_index(u64::MAX), LOG2_BOUND_COUNT);
+
+        // And the bit-math path must agree with a bounds search.
+        let rec = Recorder::enabled();
+        let h = rec.log2_histogram("l");
+        for v in [0u64, 1, 2, 3, 7, 8, 9, 1_000_000, u64::MAX] {
+            h.record(v);
+        }
+        let snap = rec.snapshot();
+        let hs = snap.histogram("l").unwrap();
+        assert_eq!(hs.bounds, log2_bounds());
+        assert_eq!(hs.counts.len(), LOG2_BOUND_COUNT + 1);
+        for (v, expect_idx) in [(0u64, 0usize), (3, 2), (9, 4), (u64::MAX, 63)] {
+            assert!(
+                hs.counts[expect_idx] > 0,
+                "value {v} should have landed in bucket {expect_idx}"
+            );
+            // The search-based rule gives the same bucket.
+            assert_eq!(hs.bounds.partition_point(|&b| b < v), log2_index(v));
+        }
+    }
+
+    #[test]
+    fn log2_histogram_quantiles() {
+        let rec = Recorder::enabled();
+        let h = rec.log2_histogram("lat");
+        // 90 fast observations, 10 slow ones: p50 small, p99 large.
+        for _ in 0..90 {
+            h.record(1_000);
+        }
+        for _ in 0..10 {
+            h.record(1_000_000);
+        }
+        let snap = rec.snapshot();
+        let hs = snap.histogram("lat").unwrap();
+        let p50 = hs.quantile(0.50).unwrap();
+        let p99 = hs.quantile(0.99).unwrap();
+        assert!((1_000..2_048).contains(&p50), "p50 = {p50}");
+        assert!(p99 >= 1_000_000, "p99 = {p99}");
+        assert!(p99 <= hs.max);
+        let p0 = hs.quantile(0.0).unwrap();
+        assert!((1_000..=1_024).contains(&p0), "p0 = {p0}");
+        assert_eq!(hs.quantile(1.0).unwrap(), hs.max);
+        assert_eq!(rec.histogram("empty", &[1]).count(), 0);
+        assert_eq!(
+            rec.snapshot().histogram("empty").unwrap().quantile(0.5),
+            None
+        );
+    }
+
+    #[test]
+    fn absorb_merges_shards() {
+        let main = Recorder::enabled();
+        main.counter("points").add(2);
+        main.histogram("h", &[10, 100]).record(5);
+
+        let shard = Recorder::enabled();
+        shard.counter("points").add(3);
+        shard.counter("shard_only").incr();
+        let sh = shard.histogram("h", &[10, 100]);
+        sh.record(50);
+        sh.record(500);
+        shard.log2_histogram("l2").record(9);
+
+        main.absorb(&shard.snapshot());
+        let snap = main.snapshot();
+        assert_eq!(snap.counter("points"), Some(5));
+        assert_eq!(snap.counter("shard_only"), Some(1));
+        let h = snap.histogram("h").unwrap();
+        assert_eq!(h.count, 3);
+        assert_eq!(h.sum, 555);
+        assert_eq!((h.min, h.max), (5, 500));
+        assert_eq!(h.counts, vec![1, 1, 1]);
+        // A log2 shard instrument materializes in the main recorder and
+        // keeps bucketing consistently on later records.
+        main.log2_histogram("l2").record(9);
+        let l2 = main.snapshot();
+        let l2 = l2.histogram("l2").unwrap();
+        assert_eq!(l2.count, 2);
+        assert_eq!(l2.counts[log2_index(9)], 2);
+
+        // Disagreeing bounds are skipped, not merged.
+        let bad = Recorder::enabled();
+        bad.histogram("h", &[1, 2]).record(1);
+        main.absorb(&bad.snapshot());
+        assert_eq!(main.snapshot().histogram("h").unwrap().count, 3);
+
+        // Absorbing into a disabled recorder is a no-op.
+        let off = Recorder::disabled();
+        off.absorb(&shard.snapshot());
+        assert!(off.snapshot().counters.is_empty());
+    }
+
+    #[test]
+    fn absorb_order_is_merge_invariant() {
+        let shards: Vec<Recorder> = (0..3).map(|_| Recorder::enabled()).collect();
+        for (i, s) in shards.iter().enumerate() {
+            s.counter("c").add(i as u64 + 1);
+            s.log2_histogram("h").record(10u64.pow(i as u32 + 1));
+        }
+        let fwd = Recorder::enabled();
+        for s in &shards {
+            fwd.absorb(&s.snapshot());
+        }
+        let rev = Recorder::enabled();
+        for s in shards.iter().rev() {
+            rev.absorb(&s.snapshot());
+        }
+        let (a, b) = (fwd.snapshot(), rev.snapshot());
+        assert_eq!(a.counter("c"), b.counter("c"));
+        assert_eq!(a.histogram("h"), b.histogram("h"));
     }
 }

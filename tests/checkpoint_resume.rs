@@ -84,3 +84,69 @@ fn killed_sweep_resumes_to_identical_output() {
 
     let _ = std::fs::remove_file(&ck);
 }
+
+#[test]
+fn parallel_sweep_is_deterministic_and_resumes_across_thread_counts() {
+    let ck = temp_path("parallel");
+    let _ = std::fs::remove_file(&ck);
+    let ck_str = ck.to_str().unwrap();
+
+    // The determinism guarantee at the binary surface: stdout is
+    // byte-identical for any thread count.
+    let serial = fig3(&["--threads", "1"]);
+    assert!(serial.status.success());
+    let expected = String::from_utf8(serial.stdout).unwrap();
+    let parallel = fig3(&["--threads", "4"]);
+    assert!(parallel.status.success());
+    assert_eq!(
+        String::from_utf8(parallel.stdout).unwrap(),
+        expected,
+        "--threads 4 must reproduce --threads 1 byte for byte"
+    );
+
+    // Crash a 4-thread checkpointed run after its first committed batch…
+    let crashed = fig3(&[
+        "--threads",
+        "4",
+        "--checkpoint",
+        ck_str,
+        "--batch",
+        "1",
+        "--fail-after",
+        "1",
+    ]);
+    assert_eq!(
+        crashed.status.code(),
+        Some(3),
+        "stderr: {}",
+        String::from_utf8_lossy(&crashed.stderr)
+    );
+    assert!(ck.exists());
+
+    // …and resume at a *different* thread count: which points the crash
+    // left behind is scheduling-dependent, but the reassembled output
+    // must still equal the uninterrupted run byte for byte.
+    let resumed = fig3(&["--threads", "2", "--checkpoint", ck_str]);
+    assert!(
+        resumed.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&resumed.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&resumed.stderr);
+    assert!(
+        stderr.contains("restored from checkpoint"),
+        "resume must replay at least one completed point: {stderr}"
+    );
+    assert_eq!(String::from_utf8(resumed.stdout).unwrap(), expected);
+
+    // Absurd thread counts are printed errors, not panics.
+    for bad in ["0", "1000000"] {
+        let rejected = fig3(&["--threads", bad]);
+        assert_eq!(rejected.status.code(), Some(2), "--threads {bad}");
+        let stderr = String::from_utf8_lossy(&rejected.stderr);
+        assert!(stderr.contains("--threads"), "{stderr}");
+        assert!(!stderr.contains("panicked"), "{stderr}");
+    }
+
+    let _ = std::fs::remove_file(&ck);
+}
