@@ -8,7 +8,7 @@
 //! loads, on identical workloads.
 //!
 //! ```text
-//! cargo run --release -p experiments --bin erfair -- [--tasks 20] [--procs 4] [--sets 30] [--slots 5000] [--seed 1] [--threads N] [--csv] [--metrics-out m.json] [--checkpoint ck.json] [--batch N] [--point-retries 1] [--fail-after N]
+//! cargo run --release -p experiments --bin erfair -- [--tasks 20] [--procs 4] [--sets 30] [--slots 5000] [--seed 1] [--threads N] [--csv] [--metrics-out m.json] [--checkpoint ck.json] [--batch N] [--point-retries 1] [--fail-after N] [--verbose]
 //! ```
 //!
 //! Each (load, algorithm) pair is one sweep point under

@@ -9,7 +9,7 @@
 //! the quantum length.
 //!
 //! ```text
-//! cargo run --release -p experiments --bin locking -- [--procs 4] [--slots 20000] [--seed 1] [--threads N] [--csv] [--metrics-out m.json] [--checkpoint ck.json] [--batch N] [--point-retries 1] [--fail-after N]
+//! cargo run --release -p experiments --bin locking -- [--procs 4] [--slots 20000] [--seed 1] [--threads N] [--csv] [--metrics-out m.json] [--checkpoint ck.json] [--batch N] [--point-retries 1] [--fail-after N] [--verbose]
 //! ```
 //!
 //! The PD² schedule is computed once and shared read-only by every

@@ -8,7 +8,7 @@
 //! toward 1.
 //!
 //! ```text
-//! cargo run --release -p experiments --bin rmff -- [--procs 8] [--tasks 24] [--sets 300] [--seed 1] [--threads N] [--csv] [--metrics-out m.json] [--checkpoint ck.json] [--batch N] [--point-retries 1] [--fail-after N]
+//! cargo run --release -p experiments --bin rmff -- [--procs 8] [--tasks 24] [--sets 300] [--seed 1] [--threads N] [--csv] [--metrics-out m.json] [--checkpoint ck.json] [--batch N] [--point-retries 1] [--fail-after N] [--verbose]
 //! ```
 //!
 //! Each `U/M` step is one sweep point under [`experiments::SweepDriver`];

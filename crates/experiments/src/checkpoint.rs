@@ -1,24 +1,58 @@
 //! Crash-tolerant sweep state: the on-disk checkpoint format.
 //!
 //! Long figure sweeps die to OOM kills, power loss, and pathological task
-//! sets. This module owns the durable half of the story — the
-//! [`CheckpointState`] file format, its config fingerprint, and atomic
-//! persistence — while [`crate::driver::SweepDriver`] owns execution
-//! (sharded workers, retries, batched saves, resume replay):
+//! sets. This module owns the durable half of the story — the checkpoint
+//! file format and the [`CheckpointSink`] persistence trait — while
+//! [`crate::driver::SweepDriver`] owns execution (sharded workers,
+//! retries, batched saves, resume replay).
 //!
-//! * with `--checkpoint <file>`, completed rows are written to disk
-//!   (atomically: temp file + fsync + rename) after every batch of
-//!   points, and a rerun with the same flags serves those rows from the
-//!   checkpoint instead of recomputing them;
-//! * the checkpoint records the binary name and a config fingerprint;
-//!   resuming with different flags is a hard error (exit 2) rather than a
-//!   silently inconsistent table;
+//! # Format v2: an append-only JSONL log
+//!
+//! A v2 checkpoint is a line-oriented log. The first line is a header
+//! carrying the format version, the binary that wrote the file, and a
+//! fingerprint of the sweep-shaping flags; every following line is one
+//! completed point:
+//!
+//! ```text
+//! {"v":2,"binary":"fig3","config":"tasks=50 sets=200 points=15 seed=1"}
+//! {"key":"U=4.0000","row":["4.00","4.21","0.02","4.56","0.03"]}
+//! {"key":"U=5.3333","row":["5.33","5.49","0.02","6.01","0.03"]}
+//! ```
+//!
+//! Saving a batch of points *appends* their records and fsyncs the file —
+//! total save I/O over an n-point sweep is O(n) bytes, where the v1
+//! whole-file rewrite was O(n²). Resume parses the log once, building a
+//! keyed index with **last-write-wins** semantics: if the same key appears
+//! twice, the later record supersedes the earlier one (a re-run that
+//! recomputes a point replaces the stale row by appending, never by
+//! editing). A truncated or corrupt record line — the signature of a
+//! torn tail write — is dropped with a warning instead of poisoning the
+//! file; the next save rewrites the log cleanly.
+//!
+//! Superseded (dead) records are reclaimed by **compaction**: when more
+//! than `max(live, threshold)` dead records have accumulated, the next
+//! save rewrites the log as header + live records and atomically swaps it
+//! into place. Compaction is amortized O(1) per append — it only runs
+//! after at least as many dead records accumulated as it rewrites.
+//!
+//! Durability: appends fsync the log file; rewrites write a temp file,
+//! fsync it, rename it over the log, and then **fsync the parent
+//! directory** so the rename itself survives a crash.
+//!
+//! # v1 migration
+//!
+//! The previous format was a single pretty-printed JSON object
+//! (`{"binary":…,"config":…,"completed":[…]}`) rewritten whole at every
+//! save. Opening a v1 file still works: it is served read-only, and the
+//! first save rewrites it in v2 form — no manual intervention.
 //!
 //! The row payload is deliberately `Vec<String>` — exactly what the
 //! binaries feed their [`stats::Table`]s — so a resumed run reproduces
 //! the uninterrupted run's output byte-for-byte.
 
 use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::io::Write;
 use std::path::{Path, PathBuf};
 
 /// One finished sweep point: its identity and its rendered table row.
@@ -30,7 +64,28 @@ pub struct CheckpointPoint {
     pub row: Vec<String>,
 }
 
-/// On-disk checkpoint: which binary, which flags, which points are done.
+/// The v2 log's first line: format version and sweep identity.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+struct LogHeader {
+    v: i64,
+    binary: String,
+    config: String,
+}
+
+/// The v2 log format version written by this build.
+const V2: i64 = 2;
+
+/// Default minimum number of dead (superseded) records before a save
+/// compacts the log. See [`LogSink::set_compaction_min_dead`].
+pub const COMPACTION_MIN_DEAD: usize = 64;
+
+/// A parsed checkpoint snapshot: which binary, which flags, which points
+/// are done.
+///
+/// This is the *read* API (tests, tooling, and the v1 format's document
+/// shape); live persistence goes through [`CheckpointSink`]. `completed`
+/// preserves file order, duplicates included — [`CheckpointState::lookup`]
+/// resolves duplicate keys last-write-wins.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct CheckpointState {
     /// Binary that wrote the checkpoint (`fig3`, `fig4`, …).
@@ -46,37 +101,43 @@ pub struct CheckpointState {
 impl CheckpointState {
     /// Loads the checkpoint at `path` if it exists — validating that it
     /// belongs to this `binary` and `config` — or starts a fresh one.
+    /// Reads both the v2 log and the legacy v1 document.
     ///
     /// `config` should fingerprint every flag that shapes the sweep
     /// (task count, sets, points, seed) and nothing presentational or
     /// performance-only (`--threads` and `--batch` deliberately excluded:
     /// a sweep interrupted at one thread count may resume at another).
     pub fn open(path: Option<&Path>, binary: &str, config: &str) -> Result<Self, CheckpointError> {
-        match path {
-            Some(p) if p.exists() => {
-                let loaded = load_state(p)?;
-                if loaded.binary != binary || loaded.config != config {
-                    return Err(CheckpointError::Mismatch {
-                        found: (loaded.binary, loaded.config),
-                        expected: (binary.to_string(), config.to_string()),
-                    });
-                }
-                Ok(loaded)
-            }
-            _ => Ok(CheckpointState {
-                binary: binary.to_string(),
-                config: config.to_string(),
-                completed: Vec::new(),
-            }),
-        }
+        let parsed = open_parsed(path, binary, config)?;
+        Ok(CheckpointState {
+            binary: binary.to_string(),
+            config: config.to_string(),
+            completed: parsed.records,
+        })
     }
 
     /// The completed row for `key`, if this checkpoint holds one.
+    ///
+    /// Duplicate keys resolve **last-write-wins**: the latest record for a
+    /// key supersedes earlier ones, so a re-run that recomputed a point
+    /// serves the recomputed row, not the stale one.
     pub fn lookup(&self, key: &str) -> Option<&[String]> {
         self.completed
             .iter()
+            .rev()
             .find(|p| p.key == key)
             .map(|p| p.row.as_slice())
+    }
+
+    /// Writes `self` at `path` in the **legacy v1 format** (one pretty
+    /// JSON document), atomically and durably.
+    ///
+    /// Kept so tests and tooling can exercise the v1→v2 migration path;
+    /// live sweeps write the v2 log via [`LogSink`].
+    pub fn write_v1(&self, path: &Path) -> Result<(), CheckpointError> {
+        let text =
+            serde_json::to_string_pretty(self).map_err(|e| CheckpointError::Io(e.to_string()))?;
+        write_and_swap(path, text.as_bytes())
     }
 }
 
@@ -113,16 +174,299 @@ impl std::fmt::Display for CheckpointError {
 
 impl std::error::Error for CheckpointError {}
 
-pub(crate) fn load_state(path: &Path) -> Result<CheckpointState, CheckpointError> {
-    let text =
-        std::fs::read_to_string(path).map_err(|e| CheckpointError::Io(format!("{path:?}: {e}")))?;
-    serde_json::from_str(&text).map_err(|e| CheckpointError::Corrupt(format!("{path:?}: {e}")))
+/// Where completed sweep points go: the driver's persistence seam.
+///
+/// [`SweepDriver`](crate::driver::SweepDriver) talks to its checkpoint
+/// exclusively through this trait — [`LogSink`] is the durable v2 log,
+/// [`NullSink`] the no-op used when `--checkpoint` is absent.
+pub trait CheckpointSink {
+    /// The checkpointed row for `key` (last-write-wins), if any. O(1).
+    fn lookup(&self, key: &str) -> Option<&[String]>;
+
+    /// Durably records a batch of completed points. On return the batch
+    /// must survive a crash of the calling process.
+    fn append_batch(&mut self, batch: &[CheckpointPoint]) -> Result<(), CheckpointError>;
+
+    /// False for sinks that discard everything — lets callers skip
+    /// cloning rows into batches that would never be written.
+    fn is_persistent(&self) -> bool {
+        true
+    }
+
+    /// Total bytes this sink has written to storage, rewrites included.
+    /// The driver exposes it as the `driver.checkpoint_bytes` counter;
+    /// tests assert it stays O(n) over an n-point sweep.
+    fn bytes_written(&self) -> u64 {
+        0
+    }
 }
 
-pub(crate) fn save_state(path: &Path, state: &CheckpointState) -> Result<(), CheckpointError> {
-    use std::io::Write;
+/// The sink used without `--checkpoint`: remembers nothing, writes
+/// nothing.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullSink;
+
+impl CheckpointSink for NullSink {
+    fn lookup(&self, _key: &str) -> Option<&[String]> {
+        None
+    }
+
+    fn append_batch(&mut self, _batch: &[CheckpointPoint]) -> Result<(), CheckpointError> {
+        Ok(())
+    }
+
+    fn is_persistent(&self) -> bool {
+        false
+    }
+}
+
+/// The durable v2 sink: an append-only JSONL log with a keyed in-memory
+/// index. See the module docs for the format and its guarantees.
+#[derive(Debug)]
+pub struct LogSink {
+    path: PathBuf,
+    binary: String,
+    config: String,
+    /// Live records, in first-completion order (stable across
+    /// compactions). `index` maps key → slot here.
+    live: Vec<CheckpointPoint>,
+    index: HashMap<String, usize>,
+    /// Record lines currently in the on-disk file (live + dead).
+    disk_records: usize,
+    /// True iff the on-disk file is a clean v2 log safe to append to.
+    /// False for a fresh (not yet created) log, a v1 file awaiting
+    /// migration, or a log whose tail was torn — in each case the next
+    /// save rewrites the whole file instead of appending.
+    appendable: bool,
+    compaction_min_dead: usize,
+    bytes_written: u64,
+}
+
+impl LogSink {
+    /// Opens (or prepares to create) the checkpoint log at `path`,
+    /// validating that an existing file belongs to this `binary` and
+    /// `config`. Accepts both the v2 log and the legacy v1 document —
+    /// a v1 file is served read-only and rewritten as v2 at the first
+    /// save.
+    pub fn open(path: PathBuf, binary: &str, config: &str) -> Result<Self, CheckpointError> {
+        let parsed = open_parsed(Some(&path), binary, config)?;
+        let mut sink = LogSink {
+            path,
+            binary: binary.to_string(),
+            config: config.to_string(),
+            live: Vec::new(),
+            index: HashMap::new(),
+            disk_records: parsed.records.len(),
+            appendable: parsed.appendable,
+            compaction_min_dead: COMPACTION_MIN_DEAD,
+            bytes_written: 0,
+        };
+        for point in parsed.records {
+            sink.upsert(point);
+        }
+        Ok(sink)
+    }
+
+    /// Live (non-superseded) points in the log.
+    pub fn live_points(&self) -> usize {
+        self.live.len()
+    }
+
+    /// Record lines in the on-disk file, superseded ones included.
+    pub fn disk_records(&self) -> usize {
+        self.disk_records
+    }
+
+    /// Overrides the compaction threshold (default
+    /// [`COMPACTION_MIN_DEAD`]): a save compacts once dead records
+    /// exceed `max(live, min_dead)`.
+    pub fn set_compaction_min_dead(&mut self, min_dead: usize) {
+        self.compaction_min_dead = min_dead;
+    }
+
+    /// Inserts into the live set, superseding any earlier row for the
+    /// same key in place (so compaction preserves first-completion
+    /// order).
+    fn upsert(&mut self, point: CheckpointPoint) {
+        match self.index.get(&point.key) {
+            Some(&slot) => self.live[slot] = point,
+            None => {
+                self.index.insert(point.key.clone(), self.live.len());
+                self.live.push(point);
+            }
+        }
+    }
+
+    /// Rewrites the log as header + live records and atomically swaps it
+    /// over `path` (temp file + fsync + rename + parent-directory fsync).
+    fn compact(&mut self) -> Result<(), CheckpointError> {
+        let header = LogHeader {
+            v: V2,
+            binary: self.binary.clone(),
+            config: self.config.clone(),
+        };
+        let mut text =
+            serde_json::to_string(&header).map_err(|e| CheckpointError::Io(e.to_string()))?;
+        text.push('\n');
+        for point in &self.live {
+            text.push_str(
+                &serde_json::to_string(point).map_err(|e| CheckpointError::Io(e.to_string()))?,
+            );
+            text.push('\n');
+        }
+        write_and_swap(&self.path, text.as_bytes())?;
+        self.bytes_written += text.len() as u64;
+        self.disk_records = self.live.len();
+        self.appendable = true;
+        Ok(())
+    }
+}
+
+impl CheckpointSink for LogSink {
+    fn lookup(&self, key: &str) -> Option<&[String]> {
+        self.index
+            .get(key)
+            .map(|&slot| self.live[slot].row.as_slice())
+    }
+
+    fn append_batch(&mut self, batch: &[CheckpointPoint]) -> Result<(), CheckpointError> {
+        if batch.is_empty() {
+            return Ok(());
+        }
+        for point in batch {
+            self.upsert(point.clone());
+        }
+        let after_append = self.disk_records + batch.len();
+        let dead = after_append - self.live.len();
+        if !self.appendable || dead > self.live.len().max(self.compaction_min_dead) {
+            // First save of a fresh/v1/torn log, or the dead-record
+            // threshold tripped: rewrite-and-swap instead of appending.
+            return self.compact();
+        }
+        let mut text = String::new();
+        for point in batch {
+            text.push_str(
+                &serde_json::to_string(point).map_err(|e| CheckpointError::Io(e.to_string()))?,
+            );
+            text.push('\n');
+        }
+        let mut file = std::fs::OpenOptions::new()
+            .append(true)
+            .open(&self.path)
+            .map_err(|e| CheckpointError::Io(format!("{:?}: {e}", self.path)))?;
+        file.write_all(text.as_bytes())
+            .map_err(|e| CheckpointError::Io(format!("{:?}: {e}", self.path)))?;
+        // Flush to stable storage before reporting the batch saved — a
+        // crash must never lose points the driver believes are durable.
+        file.sync_all()
+            .map_err(|e| CheckpointError::Io(format!("{:?}: {e}", self.path)))?;
+        self.bytes_written += text.len() as u64;
+        self.disk_records = after_append;
+        Ok(())
+    }
+
+    fn bytes_written(&self) -> u64 {
+        self.bytes_written
+    }
+}
+
+/// A checkpoint file parsed into records, however it was encoded.
+struct ParsedCheckpoint {
+    /// Records in file order, duplicate keys preserved.
+    records: Vec<CheckpointPoint>,
+    /// True iff the file is a clean v2 log that plain appends may extend.
+    appendable: bool,
+}
+
+/// Reads and validates the checkpoint at `path` (either format). A
+/// missing path/file — or an empty file, the residue of a crash before
+/// the first save — parses as an empty, fresh checkpoint.
+fn open_parsed(
+    path: Option<&Path>,
+    binary: &str,
+    config: &str,
+) -> Result<ParsedCheckpoint, CheckpointError> {
+    let fresh = ParsedCheckpoint {
+        records: Vec::new(),
+        appendable: false,
+    };
+    let Some(path) = path else {
+        return Ok(fresh);
+    };
+    if !path.exists() {
+        return Ok(fresh);
+    }
     let text =
-        serde_json::to_string_pretty(state).map_err(|e| CheckpointError::Io(e.to_string()))?;
+        std::fs::read_to_string(path).map_err(|e| CheckpointError::Io(format!("{path:?}: {e}")))?;
+    if text.trim().is_empty() {
+        eprintln!(
+            "warning: checkpoint {path:?} is empty (crash before the first save?); starting fresh"
+        );
+        return Ok(fresh);
+    }
+    let check_identity = |found_binary: &str, found_config: &str| {
+        if found_binary != binary || found_config != config {
+            return Err(CheckpointError::Mismatch {
+                found: (found_binary.to_string(), found_config.to_string()),
+                expected: (binary.to_string(), config.to_string()),
+            });
+        }
+        Ok(())
+    };
+    let first_line = text.lines().next().unwrap_or_default();
+    if let Ok(header) = serde_json::from_str::<LogHeader>(first_line) {
+        // v2 log: one record per line after the header.
+        if header.v != V2 {
+            return Err(CheckpointError::Corrupt(format!(
+                "{path:?}: unsupported checkpoint version {}",
+                header.v
+            )));
+        }
+        check_identity(&header.binary, &header.config)?;
+        let mut records = Vec::new();
+        let mut dropped = 0usize;
+        for line in text.lines().skip(1) {
+            if line.trim().is_empty() {
+                continue;
+            }
+            match serde_json::from_str::<CheckpointPoint>(line) {
+                Ok(point) => records.push(point),
+                Err(_) => dropped += 1,
+            }
+        }
+        if dropped > 0 {
+            eprintln!(
+                "warning: checkpoint {path:?}: dropped {dropped} unparseable record line(s) \
+                 (torn tail write?); {} record(s) recovered",
+                records.len()
+            );
+        }
+        // A torn tail may lack its newline; appending to it would merge
+        // bytes into the next record. Only a clean log is appendable —
+        // anything else is rewritten whole at the next save.
+        let appendable = dropped == 0 && text.ends_with('\n');
+        Ok(ParsedCheckpoint {
+            records,
+            appendable,
+        })
+    } else {
+        // Legacy v1: the whole file is one pretty-printed JSON document.
+        // Served read-only; the first save rewrites it as a v2 log.
+        let state = serde_json::from_str::<CheckpointState>(&text)
+            .map_err(|e| CheckpointError::Corrupt(format!("{path:?}: {e}")))?;
+        check_identity(&state.binary, &state.config)?;
+        Ok(ParsedCheckpoint {
+            records: state.completed,
+            appendable: false,
+        })
+    }
+}
+
+/// Atomically and durably replaces `path` with `bytes`: temp file +
+/// fsync + rename + parent-directory fsync. The directory fsync is what
+/// makes the *rename* crash-safe — without it a power loss right after
+/// the rename can leave the directory entry pointing at nothing.
+fn write_and_swap(path: &Path, bytes: &[u8]) -> Result<(), CheckpointError> {
     // Append `.tmp` to the *full* file name: `with_extension` would
     // replace the extension, so `fig3.json` and `fig3.csv` checkpoints
     // in one directory would fight over a single `fig3.tmp`.
@@ -131,14 +475,26 @@ pub(crate) fn save_state(path: &Path, state: &CheckpointState) -> Result<(), Che
     let tmp = PathBuf::from(tmp_name);
     let mut file =
         std::fs::File::create(&tmp).map_err(|e| CheckpointError::Io(format!("{tmp:?}: {e}")))?;
-    file.write_all(text.as_bytes())
+    file.write_all(bytes)
         .map_err(|e| CheckpointError::Io(format!("{tmp:?}: {e}")))?;
-    // Flush to stable storage before the rename publishes the file — a
-    // crash must never leave the checkpoint pointing at unwritten data.
     file.sync_all()
         .map_err(|e| CheckpointError::Io(format!("{tmp:?}: {e}")))?;
     drop(file);
-    std::fs::rename(&tmp, path).map_err(|e| CheckpointError::Io(format!("{path:?}: {e}")))
+    std::fs::rename(&tmp, path).map_err(|e| CheckpointError::Io(format!("{path:?}: {e}")))?;
+    sync_parent_dir(path)
+}
+
+/// Fsyncs the directory containing `path`, making a just-renamed file's
+/// directory entry durable.
+fn sync_parent_dir(path: &Path) -> Result<(), CheckpointError> {
+    let parent = match path.parent() {
+        Some(p) if !p.as_os_str().is_empty() => p,
+        _ => Path::new("."),
+    };
+    let dir =
+        std::fs::File::open(parent).map_err(|e| CheckpointError::Io(format!("{parent:?}: {e}")))?;
+    dir.sync_all()
+        .map_err(|e| CheckpointError::Io(format!("fsync {parent:?}: {e}")))
 }
 
 pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
@@ -159,46 +515,211 @@ mod tests {
         std::env::temp_dir().join(format!("pfair-ckpt-{}-{tag}.json", std::process::id()))
     }
 
+    fn point(key: &str, val: &str) -> CheckpointPoint {
+        CheckpointPoint {
+            key: key.to_string(),
+            row: vec![key.to_string(), val.to_string()],
+        }
+    }
+
     fn state(binary: &str, config: &str, keys: &[&str]) -> CheckpointState {
         CheckpointState {
             binary: binary.into(),
             config: config.into(),
-            completed: keys
-                .iter()
-                .map(|k| CheckpointPoint {
-                    key: k.to_string(),
-                    row: vec![k.to_string(), "1.00".into()],
-                })
-                .collect(),
+            completed: keys.iter().map(|k| point(k, "1.00")).collect(),
         }
     }
 
     #[test]
-    fn state_round_trips_through_the_checkpoint_file() {
+    fn log_round_trips_through_append_and_reopen() {
         let path = temp_path("roundtrip");
         let _ = std::fs::remove_file(&path);
         // No file yet: open starts fresh.
         let fresh = CheckpointState::open(Some(&path), "figX", "n=5").unwrap();
         assert!(fresh.completed.is_empty());
 
-        let s = state("figX", "n=5", &["U=1", "U=2"]);
-        save_state(&path, &s).unwrap();
-        let back = CheckpointState::open(Some(&path), "figX", "n=5").unwrap();
-        assert_eq!(back, s);
+        let mut sink = LogSink::open(path.clone(), "figX", "n=5").unwrap();
+        assert_eq!(sink.lookup("U=1"), None);
+        sink.append_batch(&[point("U=1", "1.00"), point("U=2", "1.00")])
+            .unwrap();
+        sink.append_batch(&[point("U=3", "2.00")]).unwrap();
+
+        // Reopen through both the sink and the snapshot reader.
+        let back = LogSink::open(path.clone(), "figX", "n=5").unwrap();
+        assert_eq!(back.live_points(), 3);
         assert_eq!(back.lookup("U=2"), Some(&["U=2".into(), "1.00".into()][..]));
         assert_eq!(back.lookup("U=9"), None);
+        let snap = CheckpointState::open(Some(&path), "figX", "n=5").unwrap();
+        assert_eq!(snap.completed.len(), 3);
+        assert_eq!(snap.lookup("U=3"), Some(&["U=3".into(), "2.00".into()][..]));
+
+        // The file is a v2 log: header line then one record per line.
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.starts_with("{\"v\":2,"), "{text}");
+        assert_eq!(text.lines().count(), 1 + 3);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn appends_grow_the_file_linearly_not_quadratically() {
+        let path = temp_path("linear");
+        let _ = std::fs::remove_file(&path);
+        let mut sink = LogSink::open(path.clone(), "figX", "n=5").unwrap();
+        let n = 200usize;
+        for i in 0..n {
+            sink.append_batch(&[point(&format!("U={i}"), "1.00")])
+                .unwrap();
+        }
+        // Whole-file rewrites would have written ~n²/2 records; the log
+        // writes each record once (plus one header).
+        let per_record = serde_json::to_string(&point("U=199", "1.00"))
+            .unwrap()
+            .len()
+            + 1;
+        assert!(
+            (sink.bytes_written() as usize) < 2 * n * per_record,
+            "save I/O must be O(n): wrote {} bytes for {n} records of ~{per_record}B",
+            sink.bytes_written()
+        );
+        assert_eq!(sink.disk_records(), n);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn duplicate_keys_resolve_last_write_wins() {
+        let path = temp_path("lww");
+        let _ = std::fs::remove_file(&path);
+        let mut sink = LogSink::open(path.clone(), "figX", "n=5").unwrap();
+        sink.append_batch(&[point("U=1", "stale"), point("U=2", "ok")])
+            .unwrap();
+        sink.append_batch(&[point("U=1", "recomputed")]).unwrap();
+        assert_eq!(
+            sink.lookup("U=1"),
+            Some(&["U=1".into(), "recomputed".into()][..])
+        );
+
+        // …after reopening the log…
+        let back = LogSink::open(path.clone(), "figX", "n=5").unwrap();
+        assert_eq!(
+            back.lookup("U=1"),
+            Some(&["U=1".into(), "recomputed".into()][..])
+        );
+        assert_eq!(back.live_points(), 2);
+        assert_eq!(back.disk_records(), 3, "the stale record is still on disk");
+
+        // …and through the snapshot reader, which keeps duplicates but
+        // resolves lookups the same way.
+        let snap = CheckpointState::open(Some(&path), "figX", "n=5").unwrap();
+        assert_eq!(snap.completed.len(), 3);
+        assert_eq!(
+            snap.lookup("U=1"),
+            Some(&["U=1".into(), "recomputed".into()][..])
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn torn_tail_record_is_dropped_and_next_save_heals_the_log() {
+        let path = temp_path("torntail");
+        let _ = std::fs::remove_file(&path);
+        let mut sink = LogSink::open(path.clone(), "figX", "n=5").unwrap();
+        sink.append_batch(&[point("U=1", "1.00"), point("U=2", "1.00")])
+            .unwrap();
+        // Simulate a crash mid-append: a record missing its tail.
+        let mut text = std::fs::read_to_string(&path).unwrap();
+        text.push_str("{\"key\":\"U=3\",\"ro");
+        std::fs::write(&path, &text).unwrap();
+
+        let mut back = LogSink::open(path.clone(), "figX", "n=5").unwrap();
+        assert_eq!(
+            back.live_points(),
+            2,
+            "intact records survive the torn tail"
+        );
+        assert_eq!(back.lookup("U=3"), None, "the torn record is dropped");
+
+        // The next save must rewrite (appending to a line with no
+        // newline would merge records); afterwards the log is clean.
+        back.append_batch(&[point("U=3", "2.00")]).unwrap();
+        let healed = LogSink::open(path.clone(), "figX", "n=5").unwrap();
+        assert_eq!(healed.live_points(), 3);
+        assert_eq!(healed.disk_records(), 3);
+        assert_eq!(
+            healed.lookup("U=3"),
+            Some(&["U=3".into(), "2.00".into()][..])
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn v1_checkpoint_is_served_and_migrated_on_first_save() {
+        let path = temp_path("migrate");
+        let _ = std::fs::remove_file(&path);
+        let v1 = state("figX", "n=5", &["U=1", "U=2"]);
+        v1.write_v1(&path).unwrap();
+        assert!(
+            std::fs::read_to_string(&path).unwrap().starts_with("{\n"),
+            "precondition: the v1 file is a pretty-printed document"
+        );
+
+        // v1 rows are served through both read paths…
+        let snap = CheckpointState::open(Some(&path), "figX", "n=5").unwrap();
+        assert_eq!(snap, v1);
+        let mut sink = LogSink::open(path.clone(), "figX", "n=5").unwrap();
+        assert_eq!(sink.live_points(), 2);
+        assert_eq!(sink.lookup("U=1"), Some(&["U=1".into(), "1.00".into()][..]));
+
+        // …and the first save rewrites the file as a v2 log carrying
+        // both the old rows and the new one.
+        sink.append_batch(&[point("U=3", "2.00")]).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.starts_with("{\"v\":2,"), "{text}");
+        assert_eq!(text.lines().count(), 1 + 3);
+        let back = LogSink::open(path, "figX", "n=5").unwrap();
+        assert_eq!(back.live_points(), 3);
+    }
+
+    #[test]
+    fn compaction_reclaims_dead_records_and_preserves_live_rows() {
+        let path = temp_path("compact");
+        let _ = std::fs::remove_file(&path);
+        let mut sink = LogSink::open(path.clone(), "figX", "n=5").unwrap();
+        sink.set_compaction_min_dead(4);
+        sink.append_batch(&[point("U=1", "v0"), point("U=2", "v0")])
+            .unwrap();
+        // Supersede U=1 repeatedly: dead records pile up until they
+        // exceed max(live, min_dead) — the fifth supersession's save
+        // compacts the log down to the two live records.
+        for gen in 1..=5 {
+            sink.append_batch(&[point("U=1", &format!("v{gen}"))])
+                .unwrap();
+        }
+        assert_eq!(sink.live_points(), 2);
+        assert_eq!(
+            sink.disk_records(),
+            2,
+            "compaction must reclaim dead records"
+        );
+        assert_eq!(sink.lookup("U=1"), Some(&["U=1".into(), "v5".into()][..]));
+        assert_eq!(sink.lookup("U=2"), Some(&["U=2".into(), "v0".into()][..]));
+
+        // On disk too: the compacted log holds exactly the live records.
+        let back = LogSink::open(path.clone(), "figX", "n=5").unwrap();
+        assert_eq!(back.disk_records(), back.live_points());
+        assert_eq!(back.lookup("U=1"), Some(&["U=1".into(), "v5".into()][..]));
         let _ = std::fs::remove_file(&path);
     }
 
     #[test]
     fn temp_file_name_appends_to_the_full_file_name() {
         let path = temp_path("appendtmp"); // …appendtmp.json
+        let _ = std::fs::remove_file(&path);
         let sibling = path.with_extension("tmp");
         // The sibling is what `with_extension("tmp")` naming would clobber
         // (exactly what a same-stem `.csv` checkpoint's temp file is).
         std::fs::write(&sibling, "precious").unwrap();
-        let s = state("figX", "n=5", &[]);
-        save_state(&path, &s).unwrap();
+        let mut sink = LogSink::open(path.clone(), "figX", "n=5").unwrap();
+        sink.append_batch(&[point("U=1", "1.00")]).unwrap();
         assert_eq!(
             std::fs::read_to_string(&sibling).unwrap(),
             "precious",
@@ -210,29 +731,47 @@ mod tests {
             !PathBuf::from(tmp_name).exists(),
             "temp file must be renamed away"
         );
-        assert_eq!(load_state(&path).unwrap(), s);
         let _ = std::fs::remove_file(&path);
         let _ = std::fs::remove_file(&sibling);
     }
 
     #[test]
-    fn mismatched_config_is_rejected() {
+    fn mismatched_config_is_rejected_in_both_formats() {
         let path = temp_path("mismatch");
         let _ = std::fs::remove_file(&path);
-        save_state(&path, &state("figX", "n=5", &["U=1"])).unwrap();
+        // v2 log written under one identity…
+        let mut sink = LogSink::open(path.clone(), "figX", "n=5").unwrap();
+        sink.append_batch(&[point("U=1", "1.00")]).unwrap();
         let err = CheckpointState::open(Some(&path), "figX", "n=6").unwrap_err();
         assert!(matches!(err, CheckpointError::Mismatch { .. }));
-        let err = CheckpointState::open(Some(&path), "figY", "n=5").unwrap_err();
+        let err = LogSink::open(path.clone(), "figY", "n=5").unwrap_err();
+        assert!(matches!(err, CheckpointError::Mismatch { .. }));
+
+        // …and a v1 document likewise.
+        state("figX", "n=5", &["U=1"]).write_v1(&path).unwrap();
+        let err = CheckpointState::open(Some(&path), "figX", "n=6").unwrap_err();
+        assert!(matches!(err, CheckpointError::Mismatch { .. }));
+        let err = LogSink::open(path.clone(), "figY", "n=5").unwrap_err();
         assert!(matches!(err, CheckpointError::Mismatch { .. }));
         let _ = std::fs::remove_file(&path);
     }
 
     #[test]
-    fn corrupt_file_is_rejected() {
+    fn corrupt_and_empty_files_are_handled() {
         let path = temp_path("corrupt");
         std::fs::write(&path, "not json at all {").unwrap();
         let err = CheckpointState::open(Some(&path), "figX", "n=5").unwrap_err();
         assert!(matches!(err, CheckpointError::Corrupt(_)));
+        assert!(matches!(
+            LogSink::open(path.clone(), "figX", "n=5").unwrap_err(),
+            CheckpointError::Corrupt(_)
+        ));
+
+        // An empty file is the residue of a crash before the first save:
+        // fresh start, not an error.
+        std::fs::write(&path, "").unwrap();
+        let sink = LogSink::open(path.clone(), "figX", "n=5").unwrap();
+        assert_eq!(sink.live_points(), 0);
         let _ = std::fs::remove_file(&path);
     }
 
@@ -240,5 +779,10 @@ mod tests {
     fn checkpointing_is_optional() {
         let s = CheckpointState::open(None, "figX", "").unwrap();
         assert!(s.completed.is_empty());
+        let mut null = NullSink;
+        assert!(!null.is_persistent());
+        null.append_batch(&[point("U=1", "1.00")]).unwrap();
+        assert_eq!(null.lookup("U=1"), None);
+        assert_eq!(null.bytes_written(), 0);
     }
 }

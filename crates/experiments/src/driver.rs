@@ -18,12 +18,15 @@
 //!   whose rows are computed and delivered independently.
 //!
 //! Crash tolerance composes with parallelism: with `--checkpoint <file>`
-//! completed rows are saved atomically every `--batch` points (default:
-//! one batch per pool width), `--fail-after N` still simulates a crash
-//! (exit 3) after `N` fresh points have been committed, and a resumed run
-//! replays checkpointed rows by key — so an interrupted `--threads 8` run
+//! completed rows are *appended* to a durable log (the v2 JSONL format,
+//! see [`crate::checkpoint`]) every `--batch` points (default: one batch
+//! per pool width) — save I/O is O(n) bytes over an n-point sweep.
+//! `--fail-after N` still simulates a crash (exit 3) after `N` fresh
+//! points have been committed, and a resumed run replays checkpointed
+//! rows through an O(1) keyed index — so an interrupted `--threads 8` run
 //! may resume under `--threads 1` and still reproduce the uninterrupted
-//! output byte-for-byte.
+//! output byte-for-byte. Resume prints one `restored N/M points` summary
+//! (per-point lines only with `--verbose`, or when few points replayed).
 //!
 //! Observability is sharded too: each worker records into a private
 //! [`obs::Recorder`] — no cross-thread cache-line contention on the hot
@@ -40,13 +43,18 @@ use std::time::Instant;
 
 use crate::args::Args;
 use crate::checkpoint::{
-    panic_message, save_state, CheckpointError, CheckpointPoint, CheckpointState,
+    panic_message, CheckpointError, CheckpointPoint, CheckpointSink, LogSink, NullSink,
 };
 
 /// Hard ceiling on `--threads`: beyond this the flag is a typo, not a
 /// machine (matching the args.rs convention of printed errors + exit 2,
 /// never a panic or a silent clamp).
 pub const MAX_THREADS: usize = 1024;
+
+/// Without `--verbose`, a resume prints per-point `restored` lines only
+/// when at most this many points replayed; above it, only the one-line
+/// summary (a 10⁵-point resume must not print 10⁵ stderr lines).
+pub const RESTORED_LINES_MAX: u64 = 20;
 
 /// The pool width used when `--threads` is not given.
 pub fn default_threads() -> usize {
@@ -58,17 +66,17 @@ pub fn default_threads() -> usize {
 /// Executes sweep points across a worker pool with deterministic output,
 /// retries, and batched checkpointing. See the module docs for the
 /// contract.
-#[derive(Debug)]
 pub struct SweepDriver {
     binary: String,
-    path: Option<PathBuf>,
-    state: CheckpointState,
+    sink: Box<dyn CheckpointSink>,
     threads: usize,
     batch: usize,
     /// Extra attempts after a panicking first attempt.
     retries: u64,
     /// Exit 3 after this many freshly computed points (0 = disabled).
     fail_after: u64,
+    /// Per-point `restored` lines on resume regardless of count.
+    verbose: bool,
     fresh: u64,
     cached: u64,
     failed: u64,
@@ -78,7 +86,7 @@ impl SweepDriver {
     /// Builds a driver from the standard flags: `--threads <n>` (default
     /// [`default_threads`]), `--batch <n>` (default: the pool width),
     /// `--checkpoint <file>`, `--point-retries <n>` (default 1),
-    /// `--fail-after <n>`.
+    /// `--fail-after <n>`, `--verbose`.
     ///
     /// `config` should fingerprint every flag that shapes the sweep
     /// (task count, sets, points, seed) and nothing presentational or
@@ -109,6 +117,7 @@ impl SweepDriver {
             let fail_after: u64 = args.try_get_or("fail-after", 0)?;
             let path = args.get("checkpoint").map(PathBuf::from);
             Self::with_parts(path, binary, config, threads, batch, retries, fail_after)
+                .map(|d| d.with_verbose(args.flag("verbose")))
                 .map_err(|e| e.to_string())
         };
         match fallible() {
@@ -154,19 +163,29 @@ impl SweepDriver {
         fail_after: u64,
     ) -> Result<Self, CheckpointError> {
         assert!(threads >= 1 && batch >= 1, "validated by the caller");
-        let state = CheckpointState::open(path.as_deref(), binary, &config)?;
+        let sink: Box<dyn CheckpointSink> = match path {
+            Some(p) => Box::new(LogSink::open(p, binary, &config)?),
+            None => Box::new(NullSink),
+        };
         Ok(SweepDriver {
             binary: binary.to_string(),
-            path,
-            state,
+            sink,
             threads,
             batch,
             retries,
             fail_after,
+            verbose: false,
             fresh: 0,
             cached: 0,
             failed: 0,
         })
+    }
+
+    /// Sets whether a resume prints one `restored` line per replayed
+    /// point even past [`RESTORED_LINES_MAX`].
+    pub fn with_verbose(mut self, verbose: bool) -> Self {
+        self.verbose = verbose;
+        self
     }
 
     /// Runs the sweep: one call per binary, all points at once.
@@ -192,14 +211,31 @@ impl SweepDriver {
     {
         let mut results: Vec<Option<Vec<String>>> = vec![None; keys.len()];
         let mut pending: Vec<usize> = Vec::new();
+        let mut restored: Vec<&str> = Vec::new();
         for (i, key) in keys.iter().enumerate() {
-            if let Some(row) = self.state.lookup(key) {
-                eprintln!("  [{key}] restored from checkpoint");
+            if let Some(row) = self.sink.lookup(key) {
                 results[i] = Some(row.to_vec());
+                restored.push(key);
                 self.cached += 1;
             } else {
                 pending.push(i);
             }
+        }
+        if !restored.is_empty() {
+            // One summary line, not one line per point: a large resume
+            // must not flood stderr. Per-point detail stays available
+            // under --verbose (or when only a handful replayed).
+            if self.verbose || restored.len() as u64 <= RESTORED_LINES_MAX {
+                for key in &restored {
+                    eprintln!("  [{key}] restored from checkpoint");
+                }
+            }
+            eprintln!(
+                "{}: restored {}/{} points from checkpoint",
+                self.binary,
+                restored.len(),
+                keys.len()
+            );
         }
         if !pending.is_empty() {
             self.run_pending(keys, &pending, rec, &compute, &mut results);
@@ -207,6 +243,8 @@ impl SweepDriver {
         rec.counter("driver.points_fresh").add(self.fresh);
         rec.counter("driver.points_cached").add(self.cached);
         rec.counter("driver.points_failed").add(self.failed);
+        rec.counter("driver.checkpoint_bytes")
+            .add(self.sink.bytes_written());
         results
     }
 
@@ -285,25 +323,26 @@ impl SweepDriver {
             drop(tx);
 
             // Completion stream (this thread): reassemble rows by index,
-            // commit checkpoint batches, honour the simulated crash.
-            let mut unsaved = 0usize;
+            // append checkpoint batches, honour the simulated crash.
+            let persistent = self.sink.is_persistent();
+            let mut unsaved: Vec<CheckpointPoint> = Vec::new();
             for _ in 0..pending.len() {
                 let Ok((i, row)) = rx.recv() else {
                     break; // a worker died outside catch_unwind; join reports it
                 };
                 match row {
                     Some(r) => {
-                        self.state.completed.push(CheckpointPoint {
-                            key: keys[i].clone(),
-                            row: r.clone(),
-                        });
+                        if persistent {
+                            unsaved.push(CheckpointPoint {
+                                key: keys[i].clone(),
+                                row: r.clone(),
+                            });
+                        }
                         results[i] = Some(r);
                         self.fresh += 1;
-                        unsaved += 1;
                         let crashing = self.fail_after > 0 && self.fresh >= self.fail_after;
-                        if unsaved >= self.batch || crashing {
-                            self.save();
-                            unsaved = 0;
+                        if unsaved.len() >= self.batch || crashing {
+                            self.flush(&mut unsaved);
                         }
                         if crashing {
                             eprintln!(
@@ -316,9 +355,7 @@ impl SweepDriver {
                     None => self.failed += 1,
                 }
             }
-            if unsaved > 0 {
-                self.save();
-            }
+            self.flush(&mut unsaved);
             handles
                 .into_iter()
                 .map(|h| {
@@ -363,23 +400,31 @@ impl SweepDriver {
         self.failed
     }
 
-    /// Writes the checkpoint (no-op without `--checkpoint`). Atomic:
-    /// temp file + fsync + rename, in the same directory.
-    fn save(&self) {
-        let Some(path) = &self.path else {
+    /// Total bytes the checkpoint sink has written (0 without
+    /// `--checkpoint`). The save-I/O-is-O(n) contract, observable.
+    pub fn checkpoint_bytes_written(&self) -> u64 {
+        self.sink.bytes_written()
+    }
+
+    /// Durably appends the buffered batch to the checkpoint log (no-op
+    /// when the buffer is empty, i.e. always without `--checkpoint`).
+    fn flush(&mut self, unsaved: &mut Vec<CheckpointPoint>) {
+        if unsaved.is_empty() {
             return;
-        };
-        if let Err(e) = save_state(path, &self.state) {
+        }
+        if let Err(e) = self.sink.append_batch(unsaved) {
             // Losing checkpoints silently would defeat the feature.
             eprintln!("{}: {e}", self.binary);
             std::process::exit(2);
         }
+        unsaved.clear();
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::checkpoint::CheckpointState;
     use std::sync::atomic::AtomicU64;
 
     fn driver(path: Option<PathBuf>, threads: usize, retries: u64) -> SweepDriver {
@@ -545,11 +590,20 @@ mod tests {
         let mut d =
             SweepDriver::with_parts(Some(path.clone()), "figT", "n=5".into(), 3, 5, 0, 0).unwrap();
         d.run(&keys(7), &obs::Recorder::disabled(), |i, _| row_for(i));
+        assert!(d.checkpoint_bytes_written() > 0);
         let saved = CheckpointState::open(Some(&path), "figT", "n=5").unwrap();
         assert_eq!(saved.completed.len(), 7);
         for i in 0..7 {
             assert_eq!(saved.lookup(&format!("K={i}")), Some(&row_for(i)[..]));
         }
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn without_checkpoint_nothing_is_buffered_or_written() {
+        let mut d = driver(None, 2, 0);
+        let got = d.run(&keys(5), &obs::Recorder::disabled(), |i, _| row_for(i));
+        assert_eq!(got.len(), 5);
+        assert_eq!(d.checkpoint_bytes_written(), 0);
     }
 }

@@ -39,6 +39,6 @@ pub mod metrics;
 pub mod quantum;
 
 pub use args::Args;
-pub use checkpoint::{CheckpointPoint, CheckpointState};
+pub use checkpoint::{CheckpointPoint, CheckpointSink, CheckpointState, LogSink, NullSink};
 pub use driver::SweepDriver;
 pub use metrics::{recorder, write_metrics};

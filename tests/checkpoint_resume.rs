@@ -5,8 +5,11 @@
 //!
 //! Exercises the full binary surface via `CARGO_BIN_EXE_fig3`: exit code 3
 //! on the simulated crash, "restored from checkpoint" progress lines on
-//! resume, exit code 2 on config mismatch.
+//! resume, exit code 2 on config mismatch. Also covers the v2 log format
+//! at scale (a 10⁴-point synthetic sweep must write O(n) checkpoint
+//! bytes) and the transparent v1→v2 migration.
 
+use experiments::{CheckpointState, SweepDriver};
 use std::path::PathBuf;
 use std::process::{Command, Output};
 
@@ -147,6 +150,133 @@ fn parallel_sweep_is_deterministic_and_resumes_across_thread_counts() {
         assert!(stderr.contains("--threads"), "{stderr}");
         assert!(!stderr.contains("panicked"), "{stderr}");
     }
+
+    let _ = std::fs::remove_file(&ck);
+}
+
+/// The `binary`/`config` identity the `ARGS` invocation of fig3 writes
+/// into its checkpoints (mirrors fig3's fingerprint format).
+const FIG3_CONFIG: &str = "tasks=8 sets=2 points=3 seed=3";
+
+#[test]
+fn v1_checkpoint_resumes_transparently_and_migrates_to_v2() {
+    let ck = temp_path("v1migrate");
+    let _ = std::fs::remove_file(&ck);
+    let ck_str = ck.to_str().unwrap();
+
+    // Reference: the same sweep, uninterrupted and uncheckpointed.
+    let reference = fig3(&[]);
+    assert!(reference.status.success());
+    let expected = String::from_utf8(reference.stdout).unwrap();
+
+    // Crash a checkpointed run, then rewrite its checkpoint in the
+    // legacy v1 format — exactly the file a pre-v2 build left behind.
+    let crashed = fig3(&["--checkpoint", ck_str, "--fail-after", "1"]);
+    assert_eq!(crashed.status.code(), Some(3));
+    let snap = CheckpointState::open(Some(&ck), "fig3", FIG3_CONFIG)
+        .expect("crashed checkpoint must be readable");
+    assert!(!snap.completed.is_empty());
+    snap.write_v1(&ck).unwrap();
+    assert!(
+        std::fs::read_to_string(&ck).unwrap().starts_with("{\n"),
+        "precondition: the checkpoint is now a v1 pretty-JSON document"
+    );
+
+    // Resume on the v1 file: no manual intervention, byte-identical
+    // output, and the file is rewritten as a v2 log by the first save.
+    let resumed = fig3(&["--checkpoint", ck_str]);
+    assert!(
+        resumed.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&resumed.stderr)
+    );
+    assert_eq!(String::from_utf8(resumed.stdout).unwrap(), expected);
+    let migrated = std::fs::read_to_string(&ck).unwrap();
+    assert!(
+        migrated.starts_with("{\"v\":2,"),
+        "resume must migrate the checkpoint to the v2 log: {migrated}"
+    );
+
+    // A second resume serves every point from the migrated log.
+    let replayed = fig3(&["--checkpoint", ck_str]);
+    assert!(replayed.status.success());
+    assert_eq!(String::from_utf8(replayed.stdout).unwrap(), expected);
+    let stderr = String::from_utf8_lossy(&replayed.stderr);
+    assert!(
+        stderr.contains("restored 3/3 points from checkpoint"),
+        "{stderr}"
+    );
+
+    let _ = std::fs::remove_file(&ck);
+}
+
+/// A ≥10⁴-point sweep through the driver API: resume must still be
+/// byte-identical, and total checkpoint I/O must stay O(n) — each point's
+/// record persisted a bounded number of times, never the v1 behaviour of
+/// rewriting all n rows at every batch (O(n²) bytes).
+#[test]
+fn large_sweep_writes_linear_checkpoint_bytes_and_resumes_identically() {
+    const N: usize = 10_000;
+    let ck = temp_path("large");
+    let _ = std::fs::remove_file(&ck);
+    let keys: Vec<String> = (0..N).map(|i| format!("K={i:05}")).collect();
+    let row_for = |i: usize| -> Vec<String> {
+        vec![
+            format!("K={i:05}"),
+            format!("{:.4}", (i as f64 + 1.0).sqrt()),
+        ]
+    };
+    let driver = |path: Option<PathBuf>| {
+        SweepDriver::with_parts(path, "synthetic", format!("n={N}"), 4, 64, 0, 0).unwrap()
+    };
+
+    // The uninterrupted run, uncheckpointed: the reference rows.
+    let mut reference = driver(None);
+    let expected = reference.run(&keys, &obs::Recorder::disabled(), |i, _| row_for(i));
+
+    // "Crash" halfway: the first run only covers the first N/2 keys.
+    let mut first = driver(Some(ck.clone()));
+    let half = first.run(&keys[..N / 2], &obs::Recorder::disabled(), |i, _| {
+        row_for(i)
+    });
+    assert_eq!(half.len(), N / 2);
+    assert_eq!(first.fresh_points(), (N / 2) as u64);
+    let first_bytes = first.checkpoint_bytes_written();
+
+    // Resume over the full sweep: the first half replays from the log
+    // (never recomputed), the second half runs fresh, and the assembled
+    // rows equal the uninterrupted run's exactly.
+    let mut second = driver(Some(ck.clone()));
+    let resumed = second.run(&keys, &obs::Recorder::disabled(), |i, _| {
+        assert!(i >= N / 2, "point {i} must be served from the checkpoint");
+        row_for(i)
+    });
+    assert_eq!(resumed, expected);
+    assert_eq!(second.cached_points(), (N / 2) as u64);
+    assert_eq!(second.fresh_points(), (N / 2) as u64);
+
+    // O(n) save I/O, asserted on bytes (not timing): every record is
+    // ~45 bytes, so a generous linear bound is 200 B/point. The v1
+    // whole-file rewrite would have written ~N²/(2·batch) records
+    // (~3.5 GB here); the log writes each record once (~450 KB).
+    let total_bytes = first_bytes + second.checkpoint_bytes_written();
+    assert!(
+        total_bytes < (N as u64) * 200,
+        "checkpoint I/O must be O(n): wrote {total_bytes} bytes for {N} points"
+    );
+    let file_len = std::fs::metadata(&ck).unwrap().len();
+    assert!(
+        file_len < (N as u64) * 200,
+        "checkpoint file must be O(n): {file_len} bytes for {N} points"
+    );
+
+    // A full replay appends nothing: all points are already live.
+    let mut third = driver(Some(ck.clone()));
+    let replayed = third.run(&keys, &obs::Recorder::disabled(), |_, _| {
+        unreachable!("every point must be served from the checkpoint")
+    });
+    assert_eq!(replayed, expected);
+    assert_eq!(third.checkpoint_bytes_written(), 0);
 
     let _ = std::fs::remove_file(&ck);
 }
