@@ -10,6 +10,12 @@ use sched_sim::global_edf::dhall_task_set;
 use sched_sim::{GlobalEdfSim, MultiSim};
 use std::hint::black_box;
 
+/// Steady-state slot throughput: one persistent simulator per bench, run
+/// past the startup transient, and each iteration advances it `SLOTS`
+/// further. (The previous harness rebuilt the simulator inside `b.iter`,
+/// so every sample paid ~100 µs of task admission — exact rational
+/// arithmetic — before scheduling a single slot; construction is measured
+/// separately in `engine_setup` now.)
 fn engine_slots(c: &mut Criterion) {
     let mut group = c.benchmark_group("engine_slots");
     const SLOTS: u64 = 1_000;
@@ -21,13 +27,35 @@ fn engine_slots(c: &mut Criterion) {
                 BenchmarkId::new(pol.name(), format!("{n}x{m}")),
                 &tasks,
                 |b, tasks| {
+                    let mut sim = MultiSim::new(tasks, SchedConfig::pd2(m).with_policy(pol));
+                    let mut target = 10_000u64;
+                    sim.run(target); // past the synchronized-release transient
                     b.iter(|| {
-                        let mut sim = MultiSim::new(tasks, SchedConfig::pd2(m).with_policy(pol));
-                        black_box(sim.run(SLOTS).allocated_quanta)
+                        target += SLOTS;
+                        black_box(sim.run(target).allocated_quanta)
                     });
                 },
             );
         }
+    }
+    group.finish();
+}
+
+/// Simulator construction: task admission (exact `WeightSum` rational
+/// arithmetic) plus scheduler/queue setup — the cost the old
+/// `engine_slots` harness silently folded into every sample.
+fn engine_setup(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_setup");
+    for &(n, m) in &[(100usize, 4u32), (500, 8)] {
+        let tasks = quantum_workload(n, m, 21);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{n}x{m}")),
+            &tasks,
+            |b, tasks| {
+                b.iter(|| black_box(MultiSim::new(tasks, SchedConfig::pd2(m))));
+            },
+        );
     }
     group.finish();
 }
@@ -49,10 +77,13 @@ fn engine_obs_overhead(c: &mut Criterion) {
         };
         group.bench_with_input(BenchmarkId::from_parameter(label), &tasks, |b, tasks| {
             let rec = obs::Recorder::new(enabled);
+            let mut sim = MultiSim::new(tasks, SchedConfig::pd2(m));
+            sim.set_recorder(&rec);
+            let mut target = 10_000u64;
+            sim.run(target);
             b.iter(|| {
-                let mut sim = MultiSim::new(tasks, SchedConfig::pd2(m));
-                sim.set_recorder(&rec);
-                black_box(sim.run(SLOTS).allocated_quanta)
+                target += SLOTS;
+                black_box(sim.run(target).allocated_quanta)
             });
         });
     }
@@ -88,6 +119,6 @@ fn quick_config() -> Criterion {
 criterion_group! {
     name = benches;
     config = quick_config();
-    targets = engine_slots, engine_obs_overhead, global_edf_slots
+    targets = engine_slots, engine_setup, engine_obs_overhead, global_edf_slots
 }
 criterion_main!(benches);

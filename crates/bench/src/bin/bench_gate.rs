@@ -1,0 +1,83 @@
+//! CI bench-smoke gate: compares a fresh bench report against the
+//! committed `BENCH_obs.json` baseline and exits non-zero when any
+//! benchmark under `--prefix` regressed by more than `--max-regress`.
+//!
+//! ```text
+//! BENCH_JSON_OUT=/tmp/bench.jsonl cargo bench -p pfair-bench --bench engine_bench
+//! cargo run -p pfair-bench --bin bench_obs -- --in /tmp/bench.jsonl --out /tmp/fresh.json
+//! cargo run -p pfair-bench --bin bench_gate -- \
+//!     --baseline BENCH_obs.json --new /tmp/fresh.json \
+//!     --prefix engine_slots/ --max-regress 0.25
+//! ```
+//!
+//! Benchmarks present on only one side never fail the gate (new benches
+//! are allowed; removed ones age out at the next baseline refresh), and
+//! speedups never fail. Refresh the baseline by re-running `bench_obs`
+//! with `--out BENCH_obs.json` and committing the result.
+
+use pfair_bench::{check_regressions, BenchReport};
+
+fn arg_value(args: &[String], key: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == key)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn load(path: &str) -> BenchReport {
+    let text = match std::fs::read_to_string(path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: cannot read {path}: {e}");
+            std::process::exit(2);
+        }
+    };
+    match serde_json::from_str(&text) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {path} is not a BENCH_obs.json report: {e}");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let baseline_path =
+        arg_value(&args, "--baseline").unwrap_or_else(|| "BENCH_obs.json".to_string());
+    let new_path = arg_value(&args, "--new").unwrap_or_else(|| "/tmp/fresh.json".to_string());
+    let prefix = arg_value(&args, "--prefix").unwrap_or_default();
+    let tolerance: f64 = arg_value(&args, "--max-regress")
+        .unwrap_or_else(|| "0.25".to_string())
+        .parse()
+        .unwrap_or_else(|e| {
+            eprintln!("error: --max-regress must be a number: {e}");
+            std::process::exit(2);
+        });
+
+    let baseline = load(&baseline_path);
+    let fresh = load(&new_path);
+    let gated = baseline
+        .benches
+        .iter()
+        .filter(|b| b.name.starts_with(&prefix))
+        .count();
+    let failures = check_regressions(&baseline, &fresh, &prefix, tolerance);
+    if failures.is_empty() {
+        eprintln!(
+            "bench gate ok: {gated} baseline benchmark(s) under prefix {prefix:?}, \
+             none slower than baseline by more than {:.0} %",
+            tolerance * 100.0
+        );
+        return;
+    }
+    eprintln!(
+        "bench gate FAILED: {} regression(s) past {:.0} % tolerance",
+        failures.len(),
+        tolerance * 100.0
+    );
+    for f in &failures {
+        eprintln!("  {f}");
+    }
+    std::process::exit(1);
+}

@@ -22,7 +22,7 @@
 
 pub mod report;
 
-pub use report::{BenchRecord, BenchReport};
+pub use report::{check_regressions, BenchRecord, BenchReport};
 
 use pfair_model::{Task, TaskSet};
 use rand::rngs::StdRng;

@@ -66,6 +66,46 @@ impl BenchReport {
     }
 }
 
+/// Compares a fresh bench report against a committed baseline and returns
+/// one human-readable line per regression: a benchmark whose name starts
+/// with `prefix`, exists in both reports, and got slower by more than
+/// `tolerance` (e.g. `0.25` = fail anything ≥ 25 % slower than baseline).
+///
+/// Benchmarks present on only one side are ignored — new benches must not
+/// fail the gate, and a renamed bench shows up as a baseline-only leftover
+/// the next `bench_obs` refresh cleans out. Speedups never fail.
+pub fn check_regressions(
+    baseline: &BenchReport,
+    fresh: &BenchReport,
+    prefix: &str,
+    tolerance: f64,
+) -> Vec<String> {
+    let mut failures = Vec::new();
+    for base in baseline
+        .benches
+        .iter()
+        .filter(|b| b.name.starts_with(prefix))
+    {
+        let Some(new) = fresh.benches.iter().find(|b| b.name == base.name) else {
+            continue;
+        };
+        if base.ns_per_iter <= 0.0 {
+            continue;
+        }
+        let ratio = new.ns_per_iter / base.ns_per_iter;
+        if ratio > 1.0 + tolerance {
+            failures.push(format!(
+                "{}: {:.0} ns/iter vs baseline {:.0} ns/iter ({:+.1} %)",
+                base.name,
+                new.ns_per_iter,
+                base.ns_per_iter,
+                (ratio - 1.0) * 100.0
+            ));
+        }
+    }
+    failures
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -83,6 +123,54 @@ not json
         let engine = &report.benches[0];
         assert_eq!(engine.name, "engine/step/50");
         assert_eq!(engine.ns_per_iter, 110.0, "latest record wins");
+    }
+
+    fn report(entries: &[(&str, f64)]) -> BenchReport {
+        BenchReport {
+            source: "test".into(),
+            benches: entries
+                .iter()
+                .map(|&(name, ns)| BenchRecord {
+                    name: name.into(),
+                    ns_per_iter: ns,
+                    throughput_elems: 0,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn regression_gate_flags_only_slowdowns_past_tolerance() {
+        let base = report(&[
+            ("engine_slots/PD2/100x4", 1000.0),
+            ("engine_slots/PF/100x4", 1000.0),
+            ("engine_slots/EPDF/100x4", 1000.0),
+            ("other/bench", 10.0),
+        ]);
+        let fresh = report(&[
+            ("engine_slots/PD2/100x4", 1240.0), // within 25 %
+            ("engine_slots/PF/100x4", 1300.0),  // regression
+            ("engine_slots/EPDF/100x4", 500.0), // speedup
+            ("engine_slots/new/bench", 9999.0), // new: ignored
+            ("other/bench", 100.0),             // outside prefix
+        ]);
+        let fails = check_regressions(&base, &fresh, "engine_slots/", 0.25);
+        assert_eq!(fails.len(), 1, "{fails:?}");
+        assert!(
+            fails[0].starts_with("engine_slots/PF/100x4:"),
+            "{}",
+            fails[0]
+        );
+        // Prefix "" gates everything.
+        let all = check_regressions(&base, &fresh, "", 0.25);
+        assert_eq!(all.len(), 2, "{all:?}");
+    }
+
+    #[test]
+    fn regression_gate_ignores_missing_and_degenerate_baselines() {
+        let base = report(&[("a", 0.0), ("gone", 50.0)]);
+        let fresh = report(&[("a", 1e9)]);
+        assert!(check_regressions(&base, &fresh, "", 0.25).is_empty());
     }
 
     #[test]

@@ -39,6 +39,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod key;
 pub mod lag;
 pub mod priority;
 pub mod queue;
@@ -51,7 +52,7 @@ pub use priority::{Policy, SubtaskTag};
 pub use queue::{MinQueue, QueueKind};
 pub use recovery::{plan_shedding, LagWatchdog};
 pub use sched::{
-    DelayModel, EarlyRelease, JoinError, LeaveError, MapDelays, Miss, NoDelay, PfairScheduler,
-    ReweightError, SchedConfig, SporadicDelays,
+    CoreKind, DelayModel, EarlyRelease, JoinError, LeaveError, MapDelays, Miss, NoDelay,
+    PfairScheduler, ReweightError, SchedConfig, SporadicDelays,
 };
 pub use supertask::{Component, ComponentMiss, InternalPolicy, Supertask};

@@ -47,7 +47,8 @@ pub type SubtaskIndex = u64;
 pub fn release(w: Weight, i: SubtaskIndex) -> Slot {
     assert!(i >= 1, "subtask indices are 1-based");
     // ⌊(i−1)·den/num⌋
-    ((i - 1) as u128 * w.denom() as u128 / w.numer() as u128) as Slot
+    let r = (i - 1) as u128 * w.denom() as u128 / w.numer() as u128;
+    Slot::try_from(r).expect("pseudo-release overflows the 64-bit slot range")
 }
 
 /// Pseudo-deadline `d(Tᵢ) = ⌈i/w⌉`.
@@ -60,7 +61,7 @@ pub fn deadline(w: Weight, i: SubtaskIndex) -> Slot {
     // ⌈i·den/num⌉
     let num = w.numer() as u128;
     let x = i as u128 * w.denom() as u128;
-    x.div_ceil(num) as Slot
+    Slot::try_from(x.div_ceil(num)).expect("pseudo-deadline overflows the 64-bit slot range")
 }
 
 /// The window `w(Tᵢ) = [r(Tᵢ), d(Tᵢ))`.
@@ -118,7 +119,7 @@ pub fn group_deadline(w: Weight, i: SubtaskIndex) -> Slot {
     let d = deadline(w, i) as u128;
     // k* = ⌈d·(p−e)/p⌉, then D = ⌈k*·p/(p−e)⌉.
     let k = (d * holes).div_ceil(p);
-    (k * p).div_ceil(holes) as Slot
+    Slot::try_from((k * p).div_ceil(holes)).expect("group deadline overflows the 64-bit slot range")
 }
 
 /// The group deadline computed directly from its definition, by walking the
@@ -202,8 +203,9 @@ mod tests {
             (8, 10),
             (9, 11),
         ];
-        for (i, &(r, d)) in expected.iter().enumerate() {
-            let idx = (i + 1) as u64;
+        // Pair each expected window with its explicit u64 subtask index
+        // rather than casting a usize loop counter.
+        for (idx, &(r, d)) in (1u64..).zip(expected.iter()) {
             assert_eq!(release(wt, idx), r, "r(T{idx})");
             assert_eq!(deadline(wt, idx), d, "d(T{idx})");
         }
@@ -314,6 +316,40 @@ mod tests {
     #[should_panic(expected = "1-based")]
     fn zero_index_panics() {
         let _ = release(w(1, 2), 0);
+    }
+
+    /// Subtask indices near `u64::MAX` stay exact as long as the resulting
+    /// slots fit 64 bits: the internal math is `u128`, and the final
+    /// conversion is checked rather than a silent truncating cast.
+    #[test]
+    fn large_horizon_indices_are_exact() {
+        // Unit weight: slot values equal the index, the largest case that
+        // must still fit.
+        let unit = w(1, 1);
+        assert_eq!(release(unit, u64::MAX), u64::MAX - 1);
+        assert_eq!(deadline(unit, u64::MAX), u64::MAX);
+        // Weight 8/11: intermediate i·den exceeds u64 but the window is
+        // exact in u128; check against the periodic shift from a small
+        // index (i ≡ 8 (mod 8), 2^61 periods of 8 subtasks).
+        let wt = w(8, 11);
+        let jobs = 1u64 << 60;
+        let i = jobs * 8; // ≡ T8 shifted by `jobs − 1` periods
+        assert_eq!(release(wt, i), release(wt, 8) + (jobs - 1) * 11);
+        assert_eq!(deadline(wt, i), deadline(wt, 8) + (jobs - 1) * 11);
+        assert!(!b_bit(wt, i));
+        assert_eq!(
+            group_deadline(wt, i),
+            group_deadline(wt, 8) + (jobs - 1) * 11
+        );
+    }
+
+    /// A pseudo-deadline that cannot be represented in 64 bits panics
+    /// instead of silently truncating.
+    #[test]
+    #[should_panic(expected = "overflows the 64-bit slot range")]
+    fn deadline_past_u64_panics() {
+        // d(Tᵢ) = ⌈i·3/1⌉ overflows once i > u64::MAX / 3.
+        let _ = deadline(w(1, 3), u64::MAX / 3 + 1);
     }
 
     fn arb_weight() -> impl Strategy<Value = Weight> {

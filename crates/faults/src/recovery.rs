@@ -37,7 +37,7 @@
 //! its advanced positions, re-creating the very backlog that was just
 //! drained. The watchdog therefore only ever widens eligibility.
 
-use pfair_core::{plan_shedding, DelayModel, EarlyRelease, LagWatchdog};
+use pfair_core::{plan_shedding, DelayModel, EarlyRelease, JoinError, LagWatchdog};
 use pfair_model::{Slot, Task, TaskId};
 use sched_sim::{MultiSim, RecoveryHook, TraceEvent};
 
@@ -244,8 +244,13 @@ impl RecoveryController {
                     self.task_of.push(task);
                     self.stats.rejoins += 1;
                 }
-                // Departed weight not freed yet (safe leave rule): retry.
-                Err(_) => still_pending.push(task),
+                // Overload: departed weight not freed yet (safe leave
+                // rule) — retry next slot. WrongSlot cannot happen here
+                // (rejoins run at the slot boundary, before `tick`).
+                Err(JoinError::Overload) => still_pending.push(task),
+                Err(JoinError::WrongSlot) => {
+                    unreachable!("rejoins run at the scheduler's current slot")
+                }
             }
         }
         self.pending = still_pending;

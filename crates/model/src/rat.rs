@@ -30,14 +30,30 @@ pub struct Rat {
     den: i128,
 }
 
-/// Greatest common divisor (binary-free Euclid; inputs non-negative).
-fn gcd(mut a: i128, mut b: i128) -> i128 {
-    while b != 0 {
-        let t = a % b;
-        a = b;
-        b = t;
+/// Greatest common divisor (Stein's binary algorithm; inputs
+/// non-negative). Shift/subtract only — `i128` division costs tens of
+/// cycles per step and this sits on the admission (`WeightSum`) and lag
+/// paths, where Euclid's remainder loop dominated profiles.
+fn gcd(a: i128, b: i128) -> i128 {
+    let (mut a, mut b) = (a as u128, b as u128);
+    if a == 0 {
+        return b as i128;
     }
-    a
+    if b == 0 {
+        return a as i128;
+    }
+    let shift = (a | b).trailing_zeros();
+    a >>= a.trailing_zeros();
+    loop {
+        b >>= b.trailing_zeros();
+        if a > b {
+            std::mem::swap(&mut a, &mut b);
+        }
+        b -= a;
+        if b == 0 {
+            return (a << shift) as i128;
+        }
+    }
 }
 
 impl Rat {

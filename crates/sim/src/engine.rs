@@ -288,6 +288,60 @@ impl Default for SimObs {
     }
 }
 
+/// Fixed-capacity bitset (64-bit words) reused across slots for the
+/// dispatch hot path: the free-processor mask and the scheduled-task mask.
+/// Replaces the per-slot `vec![false; n]` allocations.
+#[derive(Debug, Default)]
+struct BitMask {
+    words: Vec<u64>,
+}
+
+impl BitMask {
+    /// Clears the mask and sizes it for `n` bits.
+    fn reset(&mut self, n: usize) {
+        self.words.clear();
+        self.words.resize(n.div_ceil(64), 0);
+    }
+
+    /// Resets to exactly the bits `0..n` set (the all-live processor mask).
+    fn fill_first(&mut self, n: usize) {
+        self.reset(n);
+        for w in self.words.iter_mut().take(n / 64) {
+            *w = !0;
+        }
+        let rem = n % 64;
+        if rem > 0 {
+            self.words[n / 64] = (1u64 << rem) - 1;
+        }
+    }
+
+    #[inline]
+    fn set(&mut self, i: usize) {
+        self.words[i / 64] |= 1 << (i % 64);
+    }
+
+    #[inline]
+    fn clear(&mut self, i: usize) {
+        self.words[i / 64] &= !(1 << (i % 64));
+    }
+
+    #[inline]
+    fn is_set(&self, i: usize) -> bool {
+        (self.words[i / 64] >> (i % 64)) & 1 != 0
+    }
+
+    /// Index of the lowest set bit, if any (one `trailing_zeros` per word).
+    #[inline]
+    fn first_set(&self) -> Option<usize> {
+        for (w_i, &w) in self.words.iter().enumerate() {
+            if w != 0 {
+                return Some(w_i * 64 + w.trailing_zeros() as usize);
+            }
+        }
+        None
+    }
+}
+
 /// Per-task dispatch bookkeeping.
 #[derive(Debug, Clone, Copy)]
 struct DispatchState {
@@ -340,6 +394,15 @@ pub struct MultiSim<D: DelayModel = pfair_core::NoDelay> {
     /// Scratch buffers reused across slots.
     chosen: Vec<TaskId>,
     assignment: Vec<Option<TaskId>>,
+    /// Scratch: chosen tasks not yet placed by the affinity pass.
+    pending: Vec<TaskId>,
+    /// Scratch: live processors still free during dispatch.
+    free_procs: BitMask,
+    /// Scratch: tasks scheduled this slot (bit per task id).
+    sched_bits: BitMask,
+    /// Tasks that held a processor in the previous slot — the only
+    /// candidates for a preemption charge (replaces the all-task scan).
+    prev_ran: Vec<TaskId>,
     /// Fault injection (None = the fault layer is entirely inert).
     hook: Option<Box<dyn FaultHook>>,
     /// Recovery policy hook, run at the top of every slot.
@@ -395,6 +458,10 @@ impl<D: DelayModel> MultiSim<D> {
             now: 0,
             chosen: Vec::with_capacity(m),
             assignment: vec![None; m],
+            pending: Vec::with_capacity(m),
+            free_procs: BitMask::default(),
+            sched_bits: BitMask::default(),
+            prev_ran: Vec::with_capacity(m),
             hook: None,
             recovery: None,
             events: Vec::new(),
@@ -628,13 +695,6 @@ impl<D: DelayModel> MultiSim<D> {
         self.fault_metrics
     }
 
-    /// Whether processor `p` is fail-stopped in the slot being dispatched.
-    /// (`proc_down` is only ever written while a hook is installed, so this
-    /// is constant `false` on the fault-free path.)
-    fn is_down(&self, p: usize) -> bool {
-        self.proc_down[p]
-    }
-
     /// Simulates one slot; returns the processor → task assignment.
     pub fn step(&mut self) -> &[Option<TaskId>] {
         // Recovery first: the slot boundary is where joins/leaves/capacity
@@ -686,36 +746,53 @@ impl<D: DelayModel> MultiSim<D> {
         }
 
         // Dispatch with affinity: tasks that ran in slot t−1 and are chosen
-        // again keep their processor.
+        // again keep their processor. The free-processor set is a bitset so
+        // "first free live processor" is one trailing_zeros scan, and the
+        // pending scratch is reused across slots (no per-slot allocation).
         let dispatch_span = self.obs.dispatch_ns.start();
         self.assignment.iter_mut().for_each(|a| *a = None);
-        let mut pending: Vec<TaskId> = Vec::with_capacity(dispatchable);
+        self.free_procs.fill_first(m);
+        if self.hook.is_some() {
+            for p in 0..m {
+                if self.proc_down[p] {
+                    self.free_procs.clear(p);
+                }
+            }
+        }
+        self.pending.clear();
         for &id in &self.chosen[..dispatchable] {
             match self.dispatch[id.index()].prev_proc {
-                Some(p) if !self.is_down(p as usize) && self.assignment[p as usize].is_none() => {
+                Some(p) if self.free_procs.is_set(p as usize) => {
                     self.assignment[p as usize] = Some(id);
+                    self.free_procs.clear(p as usize);
                 }
-                _ => pending.push(id),
+                _ => self.pending.push(id),
             }
         }
         // Remaining tasks take free processors, preferring their last-used
         // processor to avoid gratuitous migrations after gaps.
-        for &id in &pending {
+        for i in 0..self.pending.len() {
+            let id = self.pending[i];
             let prefer = self.dispatch[id.index()].last_proc;
             let slot = match prefer {
-                Some(p) if !self.is_down(p as usize) && self.assignment[p as usize].is_none() => {
-                    p as usize
-                }
-                _ => (0..m)
-                    .find(|&i| self.assignment[i].is_none() && !self.is_down(i))
+                Some(p) if self.free_procs.is_set(p as usize) => p as usize,
+                _ => self
+                    .free_procs
+                    .first_set()
                     .expect("dispatchable never exceeds live processors"),
             };
+            self.free_procs.clear(slot);
             self.assignment[slot] = Some(id);
         }
         drop(dispatch_span);
 
-        // Accounting.
-        let mut scheduled_mask = vec![false; self.dispatch.len()];
+        // Accounting. Per-event counters are tallied in locals and flushed
+        // to the recorder in one batch at the end of the slot.
+        let mut allocated = 0u64;
+        let mut idle = 0u64;
+        let mut migrations = 0u64;
+        let mut switches = 0u64;
+        self.sched_bits.reset(self.dispatch.len());
         for (proc, slot) in self.assignment.iter().enumerate() {
             match slot {
                 None => {
@@ -723,22 +800,19 @@ impl<D: DelayModel> MultiSim<D> {
                         // Fail-stopped: the quantum is lost, not idle; it
                         // was counted under dead_proc_quanta above.
                     } else {
-                        self.metrics.idle_quanta += 1;
-                        self.obs.idle_quanta.incr();
+                        idle += 1;
                     }
                 }
                 Some(id) => {
-                    scheduled_mask[id.index()] = true;
+                    self.sched_bits.set(id.index());
                     let st = &mut self.dispatch[id.index()];
                     if let Some(last) = st.last_proc {
                         if last != proc as u32 {
-                            self.metrics.migrations += 1;
-                            self.obs.migrations.incr();
+                            migrations += 1;
                         }
                     }
                     if self.proc_owner[proc] != Some(*id) {
-                        self.metrics.context_switches += 1;
-                        self.obs.context_switches.incr();
+                        switches += 1;
                     }
                     st.last_proc = Some(proc as u32);
                     st.in_job += 1;
@@ -752,26 +826,49 @@ impl<D: DelayModel> MultiSim<D> {
                             samples.push(resp);
                         }
                     }
-                    self.metrics.allocated_quanta += 1;
-                    self.obs.allocated_quanta.incr();
+                    allocated += 1;
                 }
             }
         }
-        // Preemptions: ran in t−1, not running now, job unfinished.
-        for (i, st) in self.dispatch.iter_mut().enumerate() {
-            let ran_prev = st.prev_proc.is_some();
-            let runs_now = scheduled_mask[i];
-            if ran_prev && !runs_now && st.in_job != 0 {
-                self.metrics.preemptions += 1;
-                self.obs.preemptions.incr();
+        // Preemptions: ran in t−1, not running now, job unfinished. Only
+        // the tasks that actually held a processor in t−1 are candidates,
+        // so the scan is O(M), not O(tasks).
+        let mut preemptions = 0u64;
+        for i in 0..self.prev_ran.len() {
+            let idx = self.prev_ran[i].index();
+            let st = &mut self.dispatch[idx];
+            if !self.sched_bits.is_set(idx) && st.in_job != 0 {
+                preemptions += 1;
             }
             st.prev_proc = None;
         }
+        self.prev_ran.clear();
         for (proc, slot) in self.assignment.iter().enumerate() {
             if let Some(id) = slot {
                 self.dispatch[id.index()].prev_proc = Some(proc as u32);
+                self.prev_ran.push(*id);
             }
             self.proc_owner[proc] = *slot;
+        }
+        self.metrics.allocated_quanta += allocated;
+        self.metrics.idle_quanta += idle;
+        self.metrics.migrations += migrations;
+        self.metrics.context_switches += switches;
+        self.metrics.preemptions += preemptions;
+        if allocated > 0 {
+            self.obs.allocated_quanta.add(allocated);
+        }
+        if idle > 0 {
+            self.obs.idle_quanta.add(idle);
+        }
+        if migrations > 0 {
+            self.obs.migrations.add(migrations);
+        }
+        if switches > 0 {
+            self.obs.context_switches.add(switches);
+        }
+        if preemptions > 0 {
+            self.obs.preemptions.add(preemptions);
         }
 
         // Fault layer: map dispatched quanta to useful application work.

@@ -1,0 +1,272 @@
+//! Differential tests: the event-driven scheduler core must produce
+//! **byte-identical** schedules to the slow reference oracle (per-slot
+//! scan, exact rational tags, full sort) across every workload shape the
+//! paper exercises — periodic, ERfair, IS-burst, and join/leave — for all
+//! five policies and both residual id orders. CI runs this suite as the
+//! trace-diff gate for the fast core.
+
+use pfair_core::sched::{
+    CoreKind, DelayModel, EarlyRelease, MapDelays, PfairScheduler, SchedConfig, SporadicDelays,
+};
+use pfair_core::Policy;
+use pfair_model::{Task, TaskId, TaskSet};
+use proptest::prelude::*;
+use sched_sim::MultiSim;
+
+fn ts(pairs: &[(u64, u64)]) -> TaskSet {
+    TaskSet::from_pairs(pairs.iter().copied()).unwrap()
+}
+
+/// Every (policy, id-order, eligibility) combination the scheduler
+/// supports.
+fn all_configs(m: u32) -> Vec<SchedConfig> {
+    let mut cfgs = Vec::new();
+    for pol in Policy::ALL {
+        for er in [
+            EarlyRelease::None,
+            EarlyRelease::IntraJob,
+            EarlyRelease::Unrestricted,
+        ] {
+            for hif in [false, true] {
+                cfgs.push(
+                    SchedConfig::pd2(m)
+                        .with_policy(pol)
+                        .with_early_release(er)
+                        .with_higher_id_first(hif),
+                );
+            }
+        }
+    }
+    cfgs
+}
+
+/// Runs the same scheduler twice — fast and reference — and asserts the
+/// slot-by-slot schedules and recorded misses are identical.
+fn assert_cores_agree<D, F>(make: F, cfg: SchedConfig, horizon: u64)
+where
+    D: DelayModel,
+    F: Fn(SchedConfig) -> PfairScheduler<D>,
+{
+    let mut fast = make(cfg);
+    let mut slow = make(cfg.with_core(CoreKind::Reference));
+    let fast_sched = fast.run(horizon);
+    let slow_sched = slow.run(horizon);
+    assert_eq!(
+        fast_sched, slow_sched,
+        "schedule diverged: {:?} er={:?} hif={}",
+        cfg.policy, cfg.early_release, cfg.higher_id_first
+    );
+    assert_eq!(fast.misses(), slow.misses());
+}
+
+#[test]
+fn periodic_all_policies_and_orders() {
+    let set = ts(&[(8, 11), (1, 3), (2, 5), (5, 7), (3, 4), (1, 2), (2, 3)]);
+    let m = set.min_processors();
+    for cfg in all_configs(m) {
+        assert_cores_agree(|c| PfairScheduler::new(&set, c), cfg, 400);
+    }
+}
+
+#[test]
+fn full_utilization_heavy_set() {
+    // All-heavy full utilization is where group-deadline tie-breaks (and
+    // the packed gd field) carry the schedule.
+    let set = ts(&[(2, 3), (2, 3), (2, 3), (3, 4), (3, 4), (5, 6), (11, 12)]);
+    // Σ = 2+3/2+5/6+11/12 = 5.25 → 6 processors with slack; also try exact.
+    for m in [6u32] {
+        for cfg in all_configs(m) {
+            assert_cores_agree(|c| PfairScheduler::new(&set, c), cfg, 300);
+        }
+    }
+}
+
+#[test]
+fn is_burst_delays_match() {
+    // IS-delayed releases (the paper's Fig. 1(b) shape, scaled up): a
+    // handful of subtasks across tasks release late.
+    let set = ts(&[(8, 11), (2, 5), (1, 2), (3, 7)]);
+    let m = set.min_processors();
+    let delays = {
+        let mut d = MapDelays::new();
+        d.insert(TaskId(0), 5, 2)
+            .insert(TaskId(0), 13, 1)
+            .insert(TaskId(1), 2, 4)
+            .insert(TaskId(2), 7, 3)
+            .insert(TaskId(3), 1, 1);
+        d
+    };
+    for cfg in all_configs(m) {
+        assert_cores_agree(
+            |c| PfairScheduler::with_delays(&set, c, delays.clone()),
+            cfg,
+            400,
+        );
+    }
+}
+
+#[test]
+fn sporadic_job_delays_match() {
+    let set = ts(&[(2, 4), (3, 6), (1, 3)]);
+    let m = set.min_processors();
+    let delays = {
+        let mut d = SporadicDelays::for_tasks(&set);
+        d.delay_job(TaskId(0), 1, 3)
+            .delay_job(TaskId(1), 0, 2)
+            .delay_job(TaskId(2), 4, 7);
+        d
+    };
+    for cfg in all_configs(m) {
+        assert_cores_agree(
+            |c| PfairScheduler::with_delays(&set, c, delays.clone()),
+            cfg,
+            300,
+        );
+    }
+}
+
+#[test]
+fn asynchronous_phases_match() {
+    let set = ts(&[(1, 2), (2, 3), (1, 6), (3, 8)]);
+    let phases = [0u64, 1, 5, 11];
+    for cfg in all_configs(2) {
+        assert_cores_agree(|c| PfairScheduler::with_phases(&set, &phases, c), cfg, 300);
+    }
+}
+
+/// Drives an identical join/leave script against both cores.
+#[test]
+fn join_leave_churn_matches() {
+    let set = ts(&[(1, 2), (1, 3)]);
+    type ChurnStep = (u64, Option<(u64, u64)>, Option<u32>);
+    let script: &[ChurnStep] = &[
+        // (slot, join (e, p), leave id)
+        (4, Some((2, 5)), None),
+        (9, None, Some(1)),
+        (15, Some((1, 4)), None),
+        (22, Some((1, 6)), None),
+        (30, None, Some(2)),
+        (41, Some((2, 3)), None),
+    ];
+    for pol in Policy::ALL {
+        for hif in [false, true] {
+            let cfg = SchedConfig::pd2(2)
+                .with_policy(pol)
+                .with_higher_id_first(hif);
+            let run = |c: SchedConfig| {
+                let mut sched = PfairScheduler::new(&set, c);
+                let mut schedule = Vec::new();
+                let mut out = Vec::new();
+                for t in 0..80u64 {
+                    for &(at, join, leave) in script {
+                        if at == t {
+                            if let Some((e, p)) = join {
+                                let _ = sched.join(Task::new(e, p).unwrap(), t);
+                            }
+                            if let Some(id) = leave {
+                                let _ = sched.leave(TaskId(id), t);
+                            }
+                        }
+                    }
+                    out.clear();
+                    sched.tick(t, &mut out);
+                    schedule.push(out.clone());
+                }
+                (schedule, sched.misses().to_vec())
+            };
+            let fast = run(cfg);
+            let slow = run(cfg.with_core(CoreKind::Reference));
+            assert_eq!(fast, slow, "{} hif={hif} diverged", pol.name());
+        }
+    }
+}
+
+/// The cores agree when driven through the full simulator dispatch path
+/// (affinity assignment, preemption/migration accounting): identical
+/// schedules force identical [`sched_sim::RunMetrics`].
+#[test]
+fn simulator_metrics_match_across_cores() {
+    let set = ts(&[(8, 11), (1, 3), (2, 5), (5, 7), (3, 4)]);
+    let m = set.min_processors();
+    for pol in Policy::ALL {
+        let cfg = SchedConfig::pd2(m).with_policy(pol);
+        let mut fast = MultiSim::new(&set, cfg);
+        fast.record_schedule();
+        let fm = fast.run(500);
+        let mut slow = MultiSim::new(&set, cfg.with_core(CoreKind::Reference));
+        slow.record_schedule();
+        let sm = slow.run(500);
+        assert_eq!(fm, sm, "{} metrics diverged", pol.name());
+        assert_eq!(fast.schedule().unwrap(), slow.schedule().unwrap());
+    }
+}
+
+/// The cores agree under fault injection: the fault layer perturbs
+/// execution downstream of the scheduling decision, so identical schedules
+/// force identical fault metrics too.
+#[test]
+fn fault_hook_runs_match_across_cores() {
+    use sched_sim::{FaultHook, SlotFaults};
+
+    struct PeriodicFaults;
+    impl FaultHook for PeriodicFaults {
+        fn slot_faults(&mut self, t: u64, _m: u32, out: &mut SlotFaults) {
+            if t % 17 == 4 {
+                out.down.push(0);
+            }
+            if t % 23 == 9 {
+                out.wasted.push(1);
+            }
+        }
+        fn overrun(&mut self, task: TaskId, job: u64) -> u64 {
+            u64::from(task == TaskId(1) && job == 2)
+        }
+    }
+
+    let set = ts(&[(2, 3), (2, 3), (2, 3), (1, 2)]);
+    let run = |cfg: SchedConfig| {
+        let mut sim = MultiSim::new(&set, cfg);
+        sim.record_schedule();
+        sim.set_fault_hook(Box::new(PeriodicFaults));
+        let metrics = sim.run(400);
+        let faults = sim.finalize_faults();
+        (metrics, faults, sim.schedule().unwrap().to_vec())
+    };
+    let cfg = SchedConfig::pd2(3);
+    let fast = run(cfg);
+    let slow = run(cfg.with_core(CoreKind::Reference));
+    assert_eq!(fast.0, slow.0);
+    assert_eq!(fast.1, slow.1);
+    assert_eq!(fast.2, slow.2);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Differential fuzz: random feasible task sets, random policy/order,
+    /// identical schedules over a medium horizon.
+    #[test]
+    fn fuzz_random_task_sets(
+        raw in prop::collection::vec((1u64..8, 2u64..16), 1..8),
+        pol in prop::sample::select(Policy::ALL.to_vec()),
+        er_raw in 0u32..3,
+        hif_raw in 0u32..2,
+    ) {
+        let set = TaskSet::from_pairs(raw.into_iter().map(|(e, p)| (e.min(p), p))).unwrap();
+        let m = set.min_processors();
+        let er = match er_raw {
+            0 => EarlyRelease::None,
+            1 => EarlyRelease::IntraJob,
+            _ => EarlyRelease::Unrestricted,
+        };
+        let cfg = SchedConfig::pd2(m)
+            .with_policy(pol)
+            .with_early_release(er)
+            .with_higher_id_first(hif_raw == 1);
+        let horizon = (2 * set.hyperperiod()).min(1_500);
+        let mut fast = PfairScheduler::new(&set, cfg);
+        let mut slow = PfairScheduler::new(&set, cfg.with_core(CoreKind::Reference));
+        prop_assert_eq!(fast.run(horizon), slow.run(horizon));
+        prop_assert_eq!(fast.misses(), slow.misses());
+    }
+}

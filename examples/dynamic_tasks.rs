@@ -65,6 +65,7 @@ fn main() {
                 t += 1;
                 assert!(t <= free_at + 1, "join must succeed once weight frees");
             }
+            Err(JoinError::WrongSlot) => unreachable!("t tracks the current slot"),
         }
     }
 

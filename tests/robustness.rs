@@ -91,6 +91,9 @@ proptest! {
                     match sched.join(task, t) {
                         Ok(id) => joined.push(id),
                         Err(JoinError::Overload) => {} // correctly rejected
+                        Err(JoinError::WrongSlot) => {
+                            unreachable!("joins happen at the current slot")
+                        }
                     }
                 } else if let Some(id) = joined.pop() {
                     let _ = sched.leave(id, t);
