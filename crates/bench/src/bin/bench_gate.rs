@@ -1,13 +1,15 @@
 //! CI bench-smoke gate: compares a fresh bench report against the
 //! committed `BENCH_obs.json` baseline and exits non-zero when any
-//! benchmark under `--prefix` regressed by more than `--max-regress`.
+//! benchmark under `--prefix` (a comma-separated list of name prefixes,
+//! e.g. `engine_slots/,engine_setup/`) regressed by more than
+//! `--max-regress`.
 //!
 //! ```text
 //! BENCH_JSON_OUT=/tmp/bench.jsonl cargo bench -p pfair-bench --bench engine_bench
 //! cargo run -p pfair-bench --bin bench_obs -- --in /tmp/bench.jsonl --out /tmp/fresh.json
 //! cargo run -p pfair-bench --bin bench_gate -- \
 //!     --baseline BENCH_obs.json --new /tmp/fresh.json \
-//!     --prefix engine_slots/ --max-regress 0.25
+//!     --prefix engine_slots/,engine_setup/ --max-regress 0.25
 //! ```
 //!
 //! Benchmarks present on only one side never fail the gate (new benches
@@ -15,7 +17,7 @@
 //! speedups never fail. Refresh the baseline by re-running `bench_obs`
 //! with `--out BENCH_obs.json` and committing the result.
 
-use pfair_bench::{check_regressions, BenchReport};
+use pfair_bench::{check_regressions, prefix_matches, BenchReport};
 
 fn arg_value(args: &[String], key: &str) -> Option<String> {
     args.iter()
@@ -60,7 +62,7 @@ fn main() {
     let gated = baseline
         .benches
         .iter()
-        .filter(|b| b.name.starts_with(&prefix))
+        .filter(|b| prefix_matches(&prefix, &b.name))
         .count();
     let failures = check_regressions(&baseline, &fresh, &prefix, tolerance);
     if failures.is_empty() {

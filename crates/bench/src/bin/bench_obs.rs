@@ -5,14 +5,37 @@
 //! BENCH_JSON_OUT=/tmp/bench.jsonl cargo bench -p pfair-bench
 //! cargo run -p pfair-bench --bin bench_obs -- --in /tmp/bench.jsonl --out BENCH_obs.json
 //! ```
+//!
+//! Repeatable `--metrics <histogram>=<snapshot.json>` additionally folds a
+//! histogram aggregate from an obs `--metrics-out` snapshot into the
+//! report as a pseudo-benchmark `<histogram>/<file-stem>` (mean ns per
+//! sample), so sweep-driver latency rides the same regression gate as the
+//! criterion benches:
+//!
+//! ```text
+//! fig3 ... --threads 1 --metrics-out /tmp/fig3.json
+//! cargo run -p pfair-bench --bin bench_obs -- --in /tmp/bench.jsonl \
+//!     --out /tmp/fresh.json --metrics driver.point_ns=/tmp/fig3.json
+//! cargo run -p pfair-bench --bin bench_gate -- --prefix driver.point_ns/ ...
+//! ```
 
-use pfair_bench::BenchReport;
+use pfair_bench::{fold_obs_histogram, BenchReport};
+use std::path::Path;
 
 fn arg_value(args: &[String], key: &str) -> Option<String> {
     args.iter()
         .position(|a| a == key)
         .and_then(|i| args.get(i + 1))
         .cloned()
+}
+
+fn arg_values(args: &[String], key: &str) -> Vec<String> {
+    args.iter()
+        .enumerate()
+        .filter(|(_, a)| *a == key)
+        .filter_map(|(i, _)| args.get(i + 1))
+        .cloned()
+        .collect()
 }
 
 fn main() {
@@ -28,9 +51,37 @@ fn main() {
             std::process::exit(1);
         }
     };
-    let (report, bad) = BenchReport::from_jsonl(&input, &jsonl);
+    let (mut report, bad) = BenchReport::from_jsonl(&input, &jsonl);
     if bad > 0 {
         eprintln!("warning: skipped {bad} unparseable record line(s)");
+    }
+    for spec in arg_values(&args, "--metrics") {
+        let Some((hist, path)) = spec.split_once('=') else {
+            eprintln!("error: --metrics {spec}: expected <histogram>=<snapshot.json>");
+            std::process::exit(2);
+        };
+        let label = Path::new(path)
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .unwrap_or("snapshot")
+            .to_string();
+        let snap = match std::fs::read_to_string(path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("error: cannot read {path}: {e}");
+                std::process::exit(2);
+            }
+        };
+        match fold_obs_histogram(&mut report, &snap, hist, &label) {
+            Ok(rec) => eprintln!(
+                "folded {}: {:.0} ns/sample over {} sample(s)",
+                rec.name, rec.ns_per_iter, rec.throughput_elems
+            ),
+            Err(e) => {
+                eprintln!("error: --metrics {spec}: {e}");
+                std::process::exit(2);
+            }
+        }
     }
     if let Err(e) = std::fs::write(&output, report.to_json()) {
         eprintln!("error: cannot write {output}: {e}");

@@ -22,7 +22,7 @@
 
 pub mod report;
 
-pub use report::{check_regressions, BenchRecord, BenchReport};
+pub use report::{check_regressions, fold_obs_histogram, prefix_matches, BenchRecord, BenchReport};
 
 use pfair_model::{Task, TaskSet};
 use rand::rngs::StdRng;

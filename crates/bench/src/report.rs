@@ -68,8 +68,10 @@ impl BenchReport {
 
 /// Compares a fresh bench report against a committed baseline and returns
 /// one human-readable line per regression: a benchmark whose name starts
-/// with `prefix`, exists in both reports, and got slower by more than
-/// `tolerance` (e.g. `0.25` = fail anything ≥ 25 % slower than baseline).
+/// with any of the comma-separated `prefix` entries (e.g.
+/// `"engine_slots/,engine_setup/"`; empty gates everything), exists in
+/// both reports, and got slower by more than `tolerance` (e.g. `0.25` =
+/// fail anything ≥ 25 % slower than baseline).
 ///
 /// Benchmarks present on only one side are ignored — new benches must not
 /// fail the gate, and a renamed bench shows up as a baseline-only leftover
@@ -84,7 +86,7 @@ pub fn check_regressions(
     for base in baseline
         .benches
         .iter()
-        .filter(|b| b.name.starts_with(prefix))
+        .filter(|b| prefix_matches(prefix, &b.name))
     {
         let Some(new) = fresh.benches.iter().find(|b| b.name == base.name) else {
             continue;
@@ -104,6 +106,71 @@ pub fn check_regressions(
         }
     }
     failures
+}
+
+/// Does `name` fall under the comma-separated prefix list `prefix`?
+/// A blank list (or one that is all separators/whitespace) matches
+/// everything; surrounding whitespace per entry is ignored.
+pub fn prefix_matches(prefix: &str, name: &str) -> bool {
+    let mut saw_entry = false;
+    for p in prefix.split(',').map(str::trim).filter(|p| !p.is_empty()) {
+        saw_entry = true;
+        if name.starts_with(p) {
+            return true;
+        }
+    }
+    !saw_entry
+}
+
+/// Minimal view of an obs `--metrics-out` snapshot: only the histogram
+/// aggregates the perf gate consumes (unknown fields are ignored).
+#[derive(Deserialize)]
+struct ObsSnapshot {
+    histograms: Vec<ObsHistogram>,
+}
+
+/// One histogram's aggregate from the snapshot.
+#[derive(Deserialize)]
+struct ObsHistogram {
+    name: String,
+    count: u64,
+    sum: u64,
+}
+
+/// Folds one histogram aggregate from an obs `--metrics-out` snapshot
+/// into the report as a pseudo-benchmark named `<hist>/<label>` with
+/// `ns_per_iter = sum / count` (the histogram must carry nanoseconds,
+/// as `driver.point_ns` does) and `throughput_elems = count`.
+///
+/// This puts sweep-driver latency on the same perf trajectory as the
+/// criterion benches, so `bench_gate --prefix driver.point_ns/` can gate
+/// it against the committed baseline. Re-folding the same `<hist>/<label>`
+/// replaces the previous record.
+pub fn fold_obs_histogram(
+    report: &mut BenchReport,
+    snapshot_json: &str,
+    hist: &str,
+    label: &str,
+) -> Result<BenchRecord, String> {
+    let snap: ObsSnapshot = serde_json::from_str(snapshot_json)
+        .map_err(|e| format!("not an obs metrics snapshot: {e}"))?;
+    let h = snap
+        .histograms
+        .iter()
+        .find(|h| h.name == hist)
+        .ok_or_else(|| format!("snapshot has no histogram named {hist:?}"))?;
+    if h.count == 0 {
+        return Err(format!("histogram {hist:?} recorded no samples"));
+    }
+    let record = BenchRecord {
+        name: format!("{hist}/{label}"),
+        ns_per_iter: h.sum as f64 / h.count as f64,
+        throughput_elems: h.count,
+    };
+    report.benches.retain(|b| b.name != record.name);
+    report.benches.push(record.clone());
+    report.benches.sort_by(|a, b| a.name.cmp(&b.name));
+    Ok(record)
 }
 
 #[cfg(test)]
@@ -164,6 +231,51 @@ not json
         // Prefix "" gates everything.
         let all = check_regressions(&base, &fresh, "", 0.25);
         assert_eq!(all.len(), 2, "{all:?}");
+    }
+
+    #[test]
+    fn regression_gate_takes_comma_separated_prefixes() {
+        let base = report(&[
+            ("engine_slots/PD2/100x4", 1000.0),
+            ("engine_setup/100x4", 1000.0),
+            ("driver.point_ns/fig3", 1000.0),
+        ]);
+        let fresh = report(&[
+            ("engine_slots/PD2/100x4", 2000.0),
+            ("engine_setup/100x4", 2000.0),
+            ("driver.point_ns/fig3", 2000.0),
+        ]);
+        let fails = check_regressions(&base, &fresh, "engine_slots/,engine_setup/", 0.25);
+        assert_eq!(fails.len(), 2, "{fails:?}");
+        assert!(fails.iter().all(|f| !f.contains("driver.point_ns")));
+        // Stray separators and spaces are harmless.
+        let fails = check_regressions(&base, &fresh, " engine_setup/, ", 0.25);
+        assert_eq!(fails.len(), 1, "{fails:?}");
+    }
+
+    #[test]
+    fn obs_histogram_folds_into_the_report_and_replaces_on_refold() {
+        let snap = r#"{"counters":[{"name":"c","value":1}],"histograms":[
+            {"name":"driver.point_ns","count":4,"sum":8000,"min":1,"max":4000,"bounds":[],"counts":[]},
+            {"name":"other.hist","count":1,"sum":5}]}"#;
+        let mut rep = report(&[("engine_slots/PD2/100x4", 1000.0)]);
+        let rec = fold_obs_histogram(&mut rep, snap, "driver.point_ns", "fig3").unwrap();
+        assert_eq!(rec.name, "driver.point_ns/fig3");
+        assert_eq!(rec.ns_per_iter, 2000.0, "mean = sum / count");
+        assert_eq!(rec.throughput_elems, 4);
+        assert_eq!(rep.benches.len(), 2);
+        assert_eq!(rep.benches[0].name, "driver.point_ns/fig3", "sorted in");
+
+        // Re-folding replaces instead of duplicating.
+        let snap2 = snap.replace("8000", "12000");
+        let rec = fold_obs_histogram(&mut rep, &snap2, "driver.point_ns", "fig3").unwrap();
+        assert_eq!(rec.ns_per_iter, 3000.0);
+        assert_eq!(rep.benches.len(), 2);
+
+        // Missing histogram and empty histogram are loud errors.
+        assert!(fold_obs_histogram(&mut rep, snap, "nope", "x").is_err());
+        let empty = snap.replace("\"count\":4", "\"count\":0");
+        assert!(fold_obs_histogram(&mut rep, &empty, "driver.point_ns", "x").is_err());
     }
 
     #[test]

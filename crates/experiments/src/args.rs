@@ -8,6 +8,10 @@ use std::collections::HashMap;
 pub struct Args {
     values: HashMap<String, String>,
     flags: Vec<String>,
+    /// The argv these were parsed from, verbatim (program name excluded).
+    /// The multi-process sweep coordinator rebuilds worker command lines
+    /// from this.
+    raw: Vec<String>,
 }
 
 impl Args {
@@ -24,7 +28,10 @@ impl Args {
         S: Into<String>,
     {
         let items: Vec<String> = iter.into_iter().map(Into::into).collect();
-        let mut args = Args::default();
+        let mut args = Args {
+            raw: items.clone(),
+            ..Args::default()
+        };
         let mut i = 0;
         while i < items.len() {
             let item = &items[i];
@@ -45,6 +52,12 @@ impl Args {
             }
         }
         args
+    }
+
+    /// The argv these arguments were parsed from, verbatim (program name
+    /// excluded).
+    pub fn raw(&self) -> &[String] {
+        &self.raw
     }
 
     /// True iff `--name` was given as a bare flag.

@@ -7,7 +7,7 @@
 //! load-bearing.
 //!
 //! ```text
-//! cargo run --release -p experiments --bin ablation -- [--sets 200] [--seed 7] [--threads N] [--csv] [--metrics-out m.json] [--checkpoint ck.json] [--batch N] [--point-retries 1] [--fail-after N] [--verbose]
+//! cargo run --release -p experiments --bin ablation -- [--sets 200] [--seed 7] [--threads N] [--csv] [--metrics-out m.json] [--checkpoint ck.json] [--batch N] [--procs N] [--chaos kill-after=K[,torn-tail]] [--point-retries 1] [--fail-after N] [--verbose]
 //! ```
 //!
 //! Each (M, policy) pair is one sweep point under

@@ -8,7 +8,7 @@
 //! loads, on identical workloads.
 //!
 //! ```text
-//! cargo run --release -p experiments --bin erfair -- [--tasks 20] [--procs 4] [--sets 30] [--slots 5000] [--seed 1] [--threads N] [--csv] [--metrics-out m.json] [--checkpoint ck.json] [--batch N] [--point-retries 1] [--fail-after N] [--verbose]
+//! cargo run --release -p experiments --bin erfair -- [--tasks 20] [--cpus 4] [--sets 30] [--slots 5000] [--seed 1] [--threads N] [--csv] [--metrics-out m.json] [--checkpoint ck.json] [--batch N] [--procs N] [--chaos kill-after=K[,torn-tail]] [--point-retries 1] [--fail-after N] [--verbose]
 //! ```
 //!
 //! Each (load, algorithm) pair is one sweep point under
@@ -140,7 +140,7 @@ fn pfair_row(
 fn main() {
     let args = Args::parse();
     let n: usize = args.get_or("tasks", 20);
-    let m: u32 = args.get_or("procs", 4);
+    let m: u32 = args.get_or("cpus", 4);
     let sets: usize = args.get_or("sets", 30);
     let slots: u64 = args.get_or("slots", 5_000);
     let seed: u64 = args.get_or("seed", 1);
@@ -149,7 +149,7 @@ fn main() {
     let mut driver = SweepDriver::new(
         &args,
         "erfair",
-        format!("tasks={n} procs={m} sets={sets} slots={slots} seed={seed}"),
+        format!("tasks={n} cpus={m} sets={sets} slots={slots} seed={seed}"),
     );
     eprintln!(
         "erfair: N={n}, M={m}, {sets} sets × {slots} slots, {} threads",

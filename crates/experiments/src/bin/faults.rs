@@ -6,7 +6,8 @@
 //!     [--sets 20] [--horizon 2000] [--seed 1] [--recovery none|shed|catchup|full] \
 //!     [--trace ft.json] [--trace-kind failstop] [--trace-level 0.25] \
 //!     [--threads N] [--csv] [--metrics-out m.json] [--checkpoint ck.json] \
-//!     [--batch N] [--point-retries 1] [--fail-after N] [--verbose]
+//!     [--batch N] [--procs N] [--chaos kill-after=K[,torn-tail]] \
+//!     [--point-retries 1] [--fail-after N] [--verbose]
 //! ```
 //!
 //! Each point fixes a fault type and an intensity level, generates `--sets`

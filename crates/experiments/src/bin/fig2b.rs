@@ -2,7 +2,7 @@
 //! processors, as a function of task count.
 //!
 //! ```text
-//! cargo run --release -p experiments --bin fig2b -- [--sets 50] [--slots 20000] [--seed 1] [--threads 1] [--csv] [--metrics-out m.json] [--checkpoint ck.json] [--batch N] [--point-retries 1] [--fail-after N] [--verbose]
+//! cargo run --release -p experiments --bin fig2b -- [--sets 50] [--slots 20000] [--seed 1] [--threads 1] [--csv] [--metrics-out m.json] [--checkpoint ck.json] [--batch N] [--procs N] [--chaos kill-after=K[,torn-tail]] [--point-retries 1] [--fail-after N] [--verbose]
 //! ```
 //!
 //! This binary *measures wall time*, so its points default to running

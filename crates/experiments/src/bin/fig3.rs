@@ -2,7 +2,7 @@
 //! utilization grows, with Equation (3) overhead inflation.
 //!
 //! ```text
-//! cargo run --release -p experiments --bin fig3 -- [--tasks 50] [--sets 200] [--points 15] [--seed 1] [--threads N] [--csv] [--metrics-out m.json] [--checkpoint ck.json] [--batch N] [--point-retries 1] [--fail-after N] [--verbose]
+//! cargo run --release -p experiments --bin fig3 -- [--tasks 50] [--sets 200] [--points 15] [--seed 1] [--threads N] [--csv] [--metrics-out m.json] [--checkpoint ck.json] [--batch N] [--procs N] [--chaos kill-after=K[,torn-tail]] [--point-retries 1] [--fail-after N] [--verbose]
 //! ```
 //!
 //! The paper's Fig. 3 panels are `--tasks 50 | 100 | 250 | 500`.

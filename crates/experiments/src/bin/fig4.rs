@@ -3,7 +3,7 @@
 //! mean task utilization grows.
 //!
 //! ```text
-//! cargo run --release -p experiments --bin fig4 -- [--tasks 50] [--sets 200] [--points 15] [--seed 1] [--threads N] [--csv] [--metrics-out m.json] [--checkpoint ck.json] [--batch N] [--point-retries 1] [--fail-after N] [--verbose]
+//! cargo run --release -p experiments --bin fig4 -- [--tasks 50] [--sets 200] [--points 15] [--seed 1] [--threads N] [--csv] [--metrics-out m.json] [--checkpoint ck.json] [--batch N] [--procs N] [--chaos kill-after=K[,torn-tail]] [--point-retries 1] [--fail-after N] [--verbose]
 //! ```
 //!
 //! The paper's panels are `--tasks 50` and `--tasks 100`; the x-axis is

@@ -9,7 +9,7 @@
 //! the quantum length.
 //!
 //! ```text
-//! cargo run --release -p experiments --bin locking -- [--procs 4] [--slots 20000] [--seed 1] [--threads N] [--csv] [--metrics-out m.json] [--checkpoint ck.json] [--batch N] [--point-retries 1] [--fail-after N] [--verbose]
+//! cargo run --release -p experiments --bin locking -- [--cpus 4] [--slots 20000] [--seed 1] [--threads N] [--csv] [--metrics-out m.json] [--checkpoint ck.json] [--batch N] [--procs N] [--chaos kill-after=K[,torn-tail]] [--point-retries 1] [--fail-after N] [--verbose]
 //! ```
 //!
 //! The PD² schedule is computed once and shared read-only by every
@@ -28,7 +28,7 @@ const CS_RANGES: [(u64, u64); 5] = [(1, 10), (5, 50), (50, 200), (200, 500), (50
 
 fn main() {
     let args = Args::parse();
-    let m: u32 = args.get_or("procs", 4);
+    let m: u32 = args.get_or("cpus", 4);
     let slots: u64 = args.get_or("slots", 20_000);
     let seed: u64 = args.get_or("seed", 1);
     let rec = recorder(&args);
@@ -49,7 +49,7 @@ fn main() {
     let mut driver = SweepDriver::new(
         &args,
         "locking",
-        format!("procs={m} slots={slots} seed={seed}"),
+        format!("cpus={m} slots={slots} seed={seed}"),
     );
     eprintln!(
         "locking: M={m}, {} tasks, {slots} slots, 1 resource (max contention), {} threads",

@@ -2,7 +2,7 @@
 //! quantum varies, exposing the rounding-vs-overhead trade-off.
 //!
 //! ```text
-//! cargo run --release -p experiments --bin quantum -- [--tasks 50] [--util 10] [--sets 100] [--seed 1] [--threads N] [--csv] [--metrics-out m.json] [--checkpoint ck.json] [--batch N] [--point-retries 1] [--fail-after N] [--verbose]
+//! cargo run --release -p experiments --bin quantum -- [--tasks 50] [--util 10] [--sets 100] [--seed 1] [--threads N] [--csv] [--metrics-out m.json] [--checkpoint ck.json] [--batch N] [--procs N] [--chaos kill-after=K[,torn-tail]] [--point-retries 1] [--fail-after N] [--verbose]
 //! ```
 
 use experiments::quantum::{run_quantum_point, QUANTUM_SWEEP_US};

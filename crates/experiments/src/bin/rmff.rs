@@ -8,7 +8,7 @@
 //! toward 1.
 //!
 //! ```text
-//! cargo run --release -p experiments --bin rmff -- [--procs 8] [--tasks 24] [--sets 300] [--seed 1] [--threads N] [--csv] [--metrics-out m.json] [--checkpoint ck.json] [--batch N] [--point-retries 1] [--fail-after N] [--verbose]
+//! cargo run --release -p experiments --bin rmff -- [--cpus 8] [--tasks 24] [--sets 300] [--seed 1] [--threads N] [--csv] [--metrics-out m.json] [--checkpoint ck.json] [--batch N] [--procs N] [--chaos kill-after=K[,torn-tail]] [--point-retries 1] [--fail-after N] [--verbose]
 //! ```
 //!
 //! Each `U/M` step is one sweep point under [`experiments::SweepDriver`];
@@ -24,7 +24,7 @@ const STEPS: [u32; 8] = [3, 4, 5, 6, 7, 8, 9, 10];
 
 fn main() {
     let args = Args::parse();
-    let m: u32 = args.get_or("procs", 8);
+    let m: u32 = args.get_or("cpus", 8);
     let n: usize = args.get_or("tasks", 24);
     let sets: usize = args.get_or("sets", 300);
     let seed: u64 = args.get_or("seed", 1);
@@ -33,7 +33,7 @@ fn main() {
     let mut driver = SweepDriver::new(
         &args,
         "rmff",
-        format!("procs={m} tasks={n} sets={sets} seed={seed}"),
+        format!("cpus={m} tasks={n} sets={sets} seed={seed}"),
     );
     eprintln!(
         "rmff: M={m}, N={n}, {sets} sets per point, {} threads",

@@ -4,7 +4,7 @@
 //!
 //! ```text
 //! cargo run --release -p experiments --bin show -- \
-//!     --tasks 2/3,2/3,2/3 [--procs 2] [--slots 24] [--policy pd2|pf|pd|epdf] \
+//!     --tasks 2/3,2/3,2/3 [--cpus 2] [--slots 24] [--policy pd2|pf|pd|epdf] \
 //!     [--windows 0] [--er none|intra|full] [--trace out.json]
 //! ```
 
@@ -32,7 +32,7 @@ fn main() {
     let args = Args::parse();
     let spec = args.get("tasks").unwrap_or("2/3,2/3,2/3").to_string();
     let tasks = parse_tasks(&spec);
-    let m: u32 = args.get_or("procs", tasks.min_processors());
+    let m: u32 = args.get_or("cpus", tasks.min_processors());
     let slots: u64 = args.get_or("slots", 24);
     let policy = match args.get("policy").unwrap_or("pd2") {
         "pd2" => Policy::Pd2,

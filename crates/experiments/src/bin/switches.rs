@@ -10,7 +10,7 @@
 //! PD² bound thanks to affinity dispatch.
 //!
 //! ```text
-//! cargo run --release -p experiments --bin switches -- [--tasks 20] [--sets 20] [--horizon 1000000] [--seed 1] [--threads N] [--csv] [--metrics-out m.json] [--checkpoint ck.json] [--batch N] [--point-retries 1] [--fail-after N] [--verbose]
+//! cargo run --release -p experiments --bin switches -- [--tasks 20] [--sets 20] [--horizon 1000000] [--seed 1] [--threads N] [--csv] [--metrics-out m.json] [--checkpoint ck.json] [--batch N] [--procs N] [--chaos kill-after=K[,torn-tail]] [--point-retries 1] [--fail-after N] [--verbose]
 //! ```
 //!
 //! Each (mean-utilization, algorithm) pair is one sweep point under

@@ -2,49 +2,72 @@
 //!
 //! Long figure sweeps die to OOM kills, power loss, and pathological task
 //! sets. This module owns the durable half of the story — the checkpoint
-//! file format and the [`CheckpointSink`] persistence trait — while
+//! file formats and the [`CheckpointSink`] persistence trait — while
 //! [`crate::driver::SweepDriver`] owns execution (sharded workers,
-//! retries, batched saves, resume replay).
+//! retries, batched saves, resume replay, worker processes).
 //!
-//! # Format v2: an append-only JSONL log
+//! # Format v3: a sharded checkpoint directory
 //!
-//! A v2 checkpoint is a line-oriented log. The first line is a header
-//! carrying the format version, the binary that wrote the file, and a
-//! fingerprint of the sweep-shaping flags; every following line is one
-//! completed point:
+//! A v3 checkpoint is a one-line header file at `<path>` plus a shard
+//! directory `<path>.d/` holding one append-only JSONL log per writer:
 //!
 //! ```text
-//! {"v":2,"binary":"fig3","config":"tasks=50 sets=200 points=15 seed=1"}
-//! {"key":"U=4.0000","row":["4.00","4.21","0.02","4.56","0.03"]}
-//! {"key":"U=5.3333","row":["5.33","5.49","0.02","6.01","0.03"]}
+//! ck.json               {"v":3,"binary":"fig3","config":"tasks=50 …"}
+//! ck.json.d/LOCK        advisory coordinator lock (pid)
+//! ck.json.d/shard-0000.jsonl
+//! ck.json.d/shard-0001.jsonl
 //! ```
 //!
-//! Saving a batch of points *appends* their records and fsyncs the file —
-//! total save I/O over an n-point sweep is O(n) bytes, where the v1
-//! whole-file rewrite was O(n²). Resume parses the log once, building a
-//! keyed index with **last-write-wins** semantics: if the same key appears
-//! twice, the later record supersedes the earlier one (a re-run that
-//! recomputes a point replaces the stale row by appending, never by
-//! editing). A truncated or corrupt record line — the signature of a
-//! torn tail write — is dropped with a warning instead of poisoning the
-//! file; the next save rewrites the log cleanly.
+//! Each shard starts with its own header (`{"v":3,…,"shard":K}`) and then
+//! carries two record kinds, one per line:
 //!
-//! Superseded (dead) records are reclaimed by **compaction**: when more
-//! than `max(live, threshold)` dead records have accumulated, the next
-//! save rewrites the log as header + live records and atomically swaps it
-//! into place. Compaction is amortized O(1) per append — it only runs
-//! after at least as many dead records accumulated as it rewrites.
+//! * **point records** `{"key":…,"row":[…]}` — one completed sweep point;
+//! * **lease records** `{"lease":{"pid":…,"start":…,"len":…,
+//!   "deadline_ms":…}}` — a worker process's claim on a range of sweep
+//!   points, renewed as a heartbeat ([`Lease`]).
 //!
-//! Durability: appends fsync the log file; rewrites write a temp file,
-//! fsync it, rename it over the log, and then **fsync the parent
-//! directory** so the rename itself survives a crash.
+//! Every writer owns exactly one shard (created with `create_new`, so two
+//! writers can never share one), which removes the last serial append
+//! path: worker *processes* commit batches concurrently with no lock.
+//! [`ShardSet::open`] merges all shards through one keyed
+//! **last-write-wins** index — shards are read in id order and a later
+//! record for a key supersedes an earlier one — so recomputed or
+//! re-dispatched points resolve deterministically. Rows derive only from
+//! `(seed, point key)`, so duplicate records always carry identical rows
+//! and the merge cannot depend on which worker wrote what.
 //!
-//! # v1 migration
+//! A torn tail (the half-written last record of a crashed or SIGKILLed
+//! writer) is **healed eagerly** on exclusive open: the shard is rewritten
+//! once without the torn line, with one warning — not re-warned on every
+//! subsequent open. Read-only opens (worker processes merging a live set)
+//! never rewrite other writers' shards. When superseded (dead) records
+//! across the set exceed `max(live, threshold)`, a save **compacts** the
+//! whole set into a single fresh shard and deletes the old ones.
 //!
-//! The previous format was a single pretty-printed JSON object
-//! (`{"binary":…,"config":…,"completed":[…]}`) rewritten whole at every
-//! save. Opening a v1 file still works: it is served read-only, and the
-//! first save rewrites it in v2 form — no manual intervention.
+//! Two coordinators pointed at the same checkpoint directory would
+//! interleave shard ids; the advisory `LOCK` file (pid inside) makes the
+//! second one fail fast with a clear error instead. A lock whose pid is
+//! dead is stale and is replaced with a warning.
+//!
+//! Durability: appends fsync the shard; whole-file rewrites (healing,
+//! compaction, migration) write a temp file, fsync it, rename it over the
+//! target, and then **fsync the parent directory** so the rename itself
+//! survives a crash.
+//!
+//! # Legacy formats and migration
+//!
+//! * **v2** — a single append-only JSONL log at `<path>` (same record
+//!   schema, no shards); still written by [`LogSink`], kept for tooling
+//!   and migration tests.
+//! * **v1** — one pretty-printed JSON document rewritten whole at every
+//!   save.
+//!
+//! Opening either legacy format through the sharded reader still works:
+//! the records are served read-only and the checkpoint is rewritten as v3
+//! (header file + migration shard) at the first save — no manual
+//! intervention. An interrupted migration (legacy file plus a shard
+//! directory) is also readable: legacy records merge first, shards after,
+//! so the later migration shard wins ties.
 //!
 //! The row payload is deliberately `Vec<String>` — exactly what the
 //! binaries feed their [`stats::Table`]s — so a resumed run reproduces
@@ -72,8 +95,12 @@ struct LogHeader {
     config: String,
 }
 
-/// The v2 log format version written by this build.
+/// The legacy single-file log format version (still readable, and still
+/// written by [`LogSink`] for migration tooling).
 const V2: i64 = 2;
+
+/// The sharded checkpoint format version written by this build.
+const V3: i64 = 3;
 
 /// Default minimum number of dead (superseded) records before a save
 /// compacts the log. See [`LogSink::set_compaction_min_dead`].
@@ -370,6 +397,750 @@ impl CheckpointSink for LogSink {
     }
 }
 
+/// A worker process's claim on a contiguous range of sweep points,
+/// written into the worker's shard and renewed as a heartbeat.
+///
+/// The supervisor reads the newest lease in each active worker's shard;
+/// a lease whose `deadline_ms` has passed means the worker is dead or
+/// hung, and its range is reclaimed and re-dispatched.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Lease {
+    /// Pid of the worker holding the claim.
+    pub pid: u64,
+    /// First sweep index of the claimed range.
+    pub start: u64,
+    /// Number of points in the claimed range.
+    pub len: u64,
+    /// Unix milliseconds after which the claim is expired unless renewed.
+    pub deadline_ms: u64,
+}
+
+/// The wire shape of a lease line: `{"lease":{…}}` — distinguishable
+/// from a point record (`{"key":…,"row":…}`) by its single field.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+struct LeaseLine {
+    lease: Lease,
+}
+
+/// Milliseconds since the Unix epoch (lease clock).
+pub fn now_ms() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_millis() as u64)
+        .unwrap_or(0)
+}
+
+/// The shard directory of the checkpoint at `path`: `<path>.d`.
+pub fn shard_dir(path: &Path) -> PathBuf {
+    let mut name = path.as_os_str().to_os_string();
+    name.push(".d");
+    PathBuf::from(name)
+}
+
+/// The file backing shard `id` inside `dir`.
+pub fn shard_file(dir: &Path, id: u64) -> PathBuf {
+    dir.join(format!("shard-{id:04}.jsonl"))
+}
+
+/// Shard ids present in `dir`, sorted ascending (the LWW merge order).
+fn list_shards(dir: &Path) -> Result<Vec<u64>, CheckpointError> {
+    let mut ids = Vec::new();
+    let entries = match std::fs::read_dir(dir) {
+        Ok(e) => e,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(ids),
+        Err(e) => return Err(CheckpointError::Io(format!("{dir:?}: {e}"))),
+    };
+    for entry in entries {
+        let entry = entry.map_err(|e| CheckpointError::Io(format!("{dir:?}: {e}")))?;
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        if let Some(id) = name
+            .strip_prefix("shard-")
+            .and_then(|s| s.strip_suffix(".jsonl"))
+            .and_then(|s| s.parse::<u64>().ok())
+        {
+            ids.push(id);
+        }
+    }
+    ids.sort_unstable();
+    Ok(ids)
+}
+
+/// One v3 shard file, parsed.
+struct ParsedShard {
+    points: Vec<CheckpointPoint>,
+    last_lease: Option<Lease>,
+    /// Unparseable lines (torn tail of a killed writer).
+    dropped: usize,
+    /// True iff the shard had a valid header, no dropped lines, and a
+    /// trailing newline — i.e. needs no healing.
+    clean: bool,
+}
+
+/// Parses one shard file: header validation, point/lease split, torn-line
+/// accounting. A missing or empty shard parses as empty-and-unclean (the
+/// residue of a writer killed between `create_new` and its header write).
+fn parse_shard(path: &Path, binary: &str, config: &str) -> Result<ParsedShard, CheckpointError> {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => String::new(),
+        Err(e) => return Err(CheckpointError::Io(format!("{path:?}: {e}"))),
+    };
+    let mut shard = ParsedShard {
+        points: Vec::new(),
+        last_lease: None,
+        dropped: 0,
+        clean: false,
+    };
+    if text.trim().is_empty() {
+        return Ok(shard);
+    }
+    let mut lines = text.lines();
+    let header_ok = match lines.next().map(serde_json::from_str::<LogHeader>) {
+        Some(Ok(header)) => {
+            if header.v != V3 {
+                return Err(CheckpointError::Corrupt(format!(
+                    "{path:?}: unsupported shard version {}",
+                    header.v
+                )));
+            }
+            if header.binary != binary || header.config != config {
+                return Err(CheckpointError::Mismatch {
+                    found: (header.binary, header.config),
+                    expected: (binary.to_string(), config.to_string()),
+                });
+            }
+            true
+        }
+        // A torn header (writer killed mid-create): nothing recoverable,
+        // but not fatal — healing rewrites the shard empty.
+        _ => {
+            shard.dropped += 1;
+            false
+        }
+    };
+    for line in lines {
+        if line.trim().is_empty() {
+            continue;
+        }
+        if let Ok(point) = serde_json::from_str::<CheckpointPoint>(line) {
+            shard.points.push(point);
+        } else if let Ok(l) = serde_json::from_str::<LeaseLine>(line) {
+            shard.last_lease = Some(l.lease);
+        } else {
+            shard.dropped += 1;
+        }
+    }
+    shard.clean = header_ok && shard.dropped == 0 && text.ends_with('\n');
+    Ok(shard)
+}
+
+/// Live view of one shard for the supervisor: committed point count and
+/// the newest lease. Tolerates a concurrent append tearing the last line.
+pub fn scan_shard(path: &Path, binary: &str, config: &str) -> (usize, Option<Lease>) {
+    match parse_shard(path, binary, config) {
+        Ok(s) => (s.points.len(), s.last_lease),
+        Err(_) => (0, None),
+    }
+}
+
+/// The serialized one-line v3 header for `binary`/`config`; `shard`
+/// selects the per-shard variant (with a `"shard"` field) over the
+/// checkpoint-level header file.
+fn v3_header_line(
+    binary: &str,
+    config: &str,
+    shard: Option<u64>,
+) -> Result<String, CheckpointError> {
+    let header = LogHeader {
+        v: V3,
+        binary: binary.to_string(),
+        config: config.to_string(),
+    };
+    let mut text =
+        serde_json::to_string(&header).map_err(|e| CheckpointError::Io(e.to_string()))?;
+    if let Some(id) = shard {
+        // Splice the shard id in front of the closing brace — the stub
+        // serde derive has no attribute support for an optional field.
+        text.truncate(text.len() - 1);
+        text.push_str(&format!(",\"shard\":{id}}}"));
+    }
+    text.push('\n');
+    Ok(text)
+}
+
+/// Advisory coordinator lock: `<dir>/LOCK` containing the holder's pid.
+///
+/// Two coordinators pointed at the same checkpoint directory must fail
+/// fast, not silently interleave shard ids. The lock is advisory and
+/// crash-tolerant: a holder that died (checked via `/proc/<pid>`) leaves
+/// a stale file which the next acquirer replaces with a warning.
+#[derive(Debug)]
+pub struct DirLock {
+    path: PathBuf,
+}
+
+impl DirLock {
+    /// Acquires the lock in `dir`, creating the directory if needed.
+    /// Fails with a described error if another live process holds it.
+    pub fn acquire(dir: &Path) -> Result<DirLock, CheckpointError> {
+        std::fs::create_dir_all(dir).map_err(|e| CheckpointError::Io(format!("{dir:?}: {e}")))?;
+        let path = dir.join("LOCK");
+        for _ in 0..2 {
+            match std::fs::OpenOptions::new()
+                .write(true)
+                .create_new(true)
+                .open(&path)
+            {
+                Ok(mut file) => {
+                    let _ = file.write_all(std::process::id().to_string().as_bytes());
+                    let _ = file.sync_all();
+                    return Ok(DirLock { path });
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => {
+                    let holder = std::fs::read_to_string(&path)
+                        .ok()
+                        .and_then(|s| s.trim().parse::<u32>().ok());
+                    match holder {
+                        Some(pid) if pid != std::process::id() && pid_alive(pid) => {
+                            return Err(CheckpointError::Io(format!(
+                                "{path:?}: another coordinator (pid {pid}) holds this \
+                                 checkpoint; two sweeps must not share one checkpoint \
+                                 directory — wait for it or use a different --checkpoint"
+                            )));
+                        }
+                        _ => {
+                            // Dead holder (or unreadable residue): stale.
+                            eprintln!(
+                                "warning: removing stale coordinator lock {path:?} \
+                                 (pid {})",
+                                holder.map_or("?".to_string(), |p| p.to_string())
+                            );
+                            let _ = std::fs::remove_file(&path);
+                        }
+                    }
+                }
+                Err(e) => return Err(CheckpointError::Io(format!("{path:?}: {e}"))),
+            }
+        }
+        Err(CheckpointError::Io(format!(
+            "{path:?}: could not acquire coordinator lock"
+        )))
+    }
+}
+
+/// Whether `pid` is a live process (via `/proc`; on systems without
+/// procfs every lock reads as stale — acceptable for an advisory lock on
+/// the Linux targets this repo runs on).
+fn pid_alive(pid: u32) -> bool {
+    Path::new(&format!("/proc/{pid}")).exists()
+}
+
+impl Drop for DirLock {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.path);
+    }
+}
+
+/// How [`ShardSet::open`] treats the on-disk set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpenMode {
+    /// Coordinator / single-process sink: takes the directory lock and
+    /// eagerly heals torn shards (rewrites them once, warns once).
+    Exclusive,
+    /// Worker process merging a live set: no lock, never rewrites other
+    /// writers' shards (torn lines are dropped silently — the exclusive
+    /// reopen at the end of the run heals them).
+    ReadOnly,
+}
+
+/// The merged view of a v3 sharded checkpoint (plus transparent legacy
+/// v1/v2 reads): one keyed last-write-wins index over every shard.
+#[derive(Debug)]
+pub struct ShardSet {
+    path: PathBuf,
+    dir: PathBuf,
+    binary: String,
+    config: String,
+    /// Live records, in first-completion order; `index` maps key → slot.
+    live: Vec<CheckpointPoint>,
+    index: HashMap<String, usize>,
+    /// Point records on disk across all shards (live + dead). Legacy
+    /// records count once migrated, not before.
+    disk_records: usize,
+    /// Highest shard id on disk (or reserved); the next writer gets +1.
+    next_shard_id: u64,
+    /// Records served from a legacy v1/v2 file awaiting migration.
+    legacy: Option<Vec<CheckpointPoint>>,
+    /// True once `<path>` is a v3 header and `<path>.d/` exists.
+    created: bool,
+    heal_events: u64,
+    bytes_written: u64,
+    _lock: Option<DirLock>,
+}
+
+impl ShardSet {
+    /// Opens the checkpoint at `path` — v3 shard set, legacy v2 log, or
+    /// legacy v1 document — validating identity. Missing files parse as
+    /// a fresh, empty set.
+    pub fn open(
+        path: PathBuf,
+        binary: &str,
+        config: &str,
+        mode: OpenMode,
+    ) -> Result<Self, CheckpointError> {
+        let dir = shard_dir(&path);
+        let lock = match mode {
+            OpenMode::Exclusive => Some(DirLock::acquire(&dir)?),
+            OpenMode::ReadOnly => None,
+        };
+        let mut set = ShardSet {
+            path,
+            dir,
+            binary: binary.to_string(),
+            config: config.to_string(),
+            live: Vec::new(),
+            index: HashMap::new(),
+            disk_records: 0,
+            next_shard_id: 0,
+            legacy: None,
+            created: false,
+            heal_events: 0,
+            bytes_written: 0,
+            _lock: lock,
+        };
+
+        // The `<path>` file: a v3 header, a legacy v1/v2 checkpoint, or
+        // absent. Legacy records merge first so later shards win ties
+        // (the order an interrupted migration wrote them in).
+        match std::fs::read_to_string(&set.path) {
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+            Err(e) => return Err(CheckpointError::Io(format!("{:?}: {e}", set.path))),
+            Ok(text) if text.trim().is_empty() => {}
+            Ok(text) => {
+                let first = text.lines().next().unwrap_or_default();
+                let v3 = matches!(
+                    serde_json::from_str::<LogHeader>(first),
+                    Ok(LogHeader { v: V3, .. })
+                );
+                if v3 {
+                    let header: LogHeader = serde_json::from_str(first)
+                        .map_err(|e| CheckpointError::Corrupt(format!("{:?}: {e}", set.path)))?;
+                    if header.binary != binary || header.config != config {
+                        return Err(CheckpointError::Mismatch {
+                            found: (header.binary, header.config),
+                            expected: (binary.to_string(), config.to_string()),
+                        });
+                    }
+                    set.created = true;
+                } else {
+                    let parsed = open_parsed(Some(&set.path), binary, config)?;
+                    if mode == OpenMode::Exclusive && !parsed.appendable {
+                        // Eager torn-tail healing for a legacy v2 log:
+                        // rewrite it clean once instead of re-warning on
+                        // every open until migration happens to save.
+                        set.heal_legacy_v2(&parsed.records)?;
+                    }
+                    set.legacy = Some(parsed.records.clone());
+                    for point in parsed.records {
+                        set.upsert(point);
+                    }
+                }
+            }
+        }
+
+        // The shards, in id order (the LWW merge order).
+        for id in list_shards(&set.dir)? {
+            set.next_shard_id = set.next_shard_id.max(id + 1);
+            let file = shard_file(&set.dir, id);
+            let shard = parse_shard(&file, binary, config)?;
+            if !shard.clean && mode == OpenMode::Exclusive {
+                set.heal_shard(id, &shard)?;
+            }
+            set.disk_records += shard.points.len();
+            for point in shard.points {
+                set.upsert(point);
+            }
+        }
+        Ok(set)
+    }
+
+    /// Rewrites shard `id` as header + its parsed point records (torn
+    /// lines and stale leases dropped), warning once.
+    fn heal_shard(&mut self, id: u64, shard: &ParsedShard) -> Result<(), CheckpointError> {
+        let file = shard_file(&self.dir, id);
+        eprintln!(
+            "warning: checkpoint shard {file:?}: torn tail (killed writer?); \
+             healed — {} record(s) recovered, {} line(s) dropped",
+            shard.points.len(),
+            shard.dropped
+        );
+        let mut text = v3_header_line(&self.binary, &self.config, Some(id))?;
+        for point in &shard.points {
+            text.push_str(
+                &serde_json::to_string(point).map_err(|e| CheckpointError::Io(e.to_string()))?,
+            );
+            text.push('\n');
+        }
+        write_and_swap(&file, text.as_bytes())?;
+        self.bytes_written += text.len() as u64;
+        self.heal_events += 1;
+        Ok(())
+    }
+
+    /// Rewrites a torn legacy v2 log in place as a clean v2 log (still
+    /// legacy — migration to v3 happens at the first save), warning once.
+    fn heal_legacy_v2(&mut self, records: &[CheckpointPoint]) -> Result<(), CheckpointError> {
+        eprintln!(
+            "warning: checkpoint {:?}: torn tail; healed in place \
+             ({} record(s) recovered)",
+            self.path,
+            records.len()
+        );
+        let header = LogHeader {
+            v: V2,
+            binary: self.binary.clone(),
+            config: self.config.clone(),
+        };
+        let mut text =
+            serde_json::to_string(&header).map_err(|e| CheckpointError::Io(e.to_string()))?;
+        text.push('\n');
+        for point in records {
+            text.push_str(
+                &serde_json::to_string(point).map_err(|e| CheckpointError::Io(e.to_string()))?,
+            );
+            text.push('\n');
+        }
+        write_and_swap(&self.path, text.as_bytes())?;
+        self.bytes_written += text.len() as u64;
+        self.heal_events += 1;
+        Ok(())
+    }
+
+    /// Inserts into the live set, superseding any earlier row for the
+    /// same key in place (so compaction preserves first-completion
+    /// order).
+    fn upsert(&mut self, point: CheckpointPoint) {
+        match self.index.get(&point.key) {
+            Some(&slot) => self.live[slot] = point,
+            None => {
+                self.index.insert(point.key.clone(), self.live.len());
+                self.live.push(point);
+            }
+        }
+    }
+
+    /// The checkpointed row for `key` (last-write-wins), if any. O(1).
+    pub fn lookup(&self, key: &str) -> Option<&[String]> {
+        self.index
+            .get(key)
+            .map(|&slot| self.live[slot].row.as_slice())
+    }
+
+    /// Live (non-superseded) points across the set.
+    pub fn live_points(&self) -> usize {
+        self.live.len()
+    }
+
+    /// Point records on disk across all shards, superseded included.
+    pub fn disk_records(&self) -> usize {
+        self.disk_records
+    }
+
+    /// Torn shards healed by this open (and any later reloads).
+    pub fn heal_events(&self) -> u64 {
+        self.heal_events
+    }
+
+    /// The shard directory (`<path>.d`).
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Reserves a fresh shard id for a writer (a spawned worker process).
+    pub fn reserve_shard_id(&mut self) -> u64 {
+        let id = self.next_shard_id;
+        self.next_shard_id += 1;
+        id
+    }
+
+    /// Makes the on-disk v3 skeleton exist: the shard directory, the
+    /// `<path>` header file, and — when the set was opened from a legacy
+    /// v1/v2 checkpoint — a migration shard holding every legacy record.
+    /// Idempotent; the migration shard is written durably *before* the
+    /// header replaces the legacy file, so a crash mid-migration loses
+    /// nothing (reopen merges legacy + shards).
+    pub fn ensure_created(&mut self) -> Result<(), CheckpointError> {
+        if self.created {
+            return Ok(());
+        }
+        std::fs::create_dir_all(&self.dir)
+            .map_err(|e| CheckpointError::Io(format!("{:?}: {e}", self.dir)))?;
+        if let Some(records) = self.legacy.take() {
+            let id = self.reserve_shard_id();
+            let mut text = v3_header_line(&self.binary, &self.config, Some(id))?;
+            for point in &records {
+                text.push_str(
+                    &serde_json::to_string(point)
+                        .map_err(|e| CheckpointError::Io(e.to_string()))?,
+                );
+                text.push('\n');
+            }
+            write_and_swap(&shard_file(&self.dir, id), text.as_bytes())?;
+            self.bytes_written += text.len() as u64;
+            self.disk_records += records.len();
+        }
+        let header = v3_header_line(&self.binary, &self.config, None)?;
+        write_and_swap(&self.path, header.as_bytes())?;
+        self.bytes_written += header.len() as u64;
+        self.created = true;
+        Ok(())
+    }
+
+    /// Rewrites the whole set as one fresh compacted shard (header + live
+    /// records) and deletes every older shard. Callers must ensure no
+    /// other writer is appending (the coordinator only compacts with no
+    /// children running).
+    pub fn compact(&mut self) -> Result<(), CheckpointError> {
+        self.ensure_created()?;
+        let old: Vec<u64> = list_shards(&self.dir)?;
+        let id = self.reserve_shard_id();
+        let mut text = v3_header_line(&self.binary, &self.config, Some(id))?;
+        for point in &self.live {
+            text.push_str(
+                &serde_json::to_string(point).map_err(|e| CheckpointError::Io(e.to_string()))?,
+            );
+            text.push('\n');
+        }
+        let file = shard_file(&self.dir, id);
+        write_and_swap(&file, text.as_bytes())?;
+        self.bytes_written += text.len() as u64;
+        for stale in old {
+            let _ = std::fs::remove_file(shard_file(&self.dir, stale));
+        }
+        sync_parent_dir(&file)?;
+        self.disk_records = self.live.len();
+        Ok(())
+    }
+
+    /// Re-scans the shard directory, folding in records written by other
+    /// processes since open (coordinator's end-of-run merge). Exclusive
+    /// semantics: torn shards left by killed workers are healed. The
+    /// in-memory index is rebuilt from disk plus any unmigrated legacy
+    /// records.
+    pub fn reload(&mut self) -> Result<(), CheckpointError> {
+        self.live.clear();
+        self.index.clear();
+        self.disk_records = 0;
+        if let Some(records) = self.legacy.clone() {
+            for point in records {
+                self.upsert(point);
+            }
+        }
+        for id in list_shards(&self.dir)? {
+            self.next_shard_id = self.next_shard_id.max(id + 1);
+            let file = shard_file(&self.dir, id);
+            let shard = parse_shard(&file, &self.binary, &self.config)?;
+            if !shard.clean {
+                self.heal_shard(id, &shard)?;
+            }
+            self.disk_records += shard.points.len();
+            for point in shard.points {
+                self.upsert(point);
+            }
+        }
+        Ok(())
+    }
+}
+
+/// An exclusive append handle on one shard file. Created with
+/// `create_new` — two writers can never own the same shard — and every
+/// append is fsynced before it is reported durable.
+#[derive(Debug)]
+pub struct ShardWriter {
+    path: PathBuf,
+    bytes_written: u64,
+}
+
+impl ShardWriter {
+    /// Creates shard `id` in `dir` and durably writes its header line.
+    pub fn create(
+        dir: &Path,
+        id: u64,
+        binary: &str,
+        config: &str,
+    ) -> Result<Self, CheckpointError> {
+        let path = shard_file(dir, id);
+        let header = v3_header_line(binary, config, Some(id))?;
+        let mut file = std::fs::OpenOptions::new()
+            .write(true)
+            .create_new(true)
+            .open(&path)
+            .map_err(|e| CheckpointError::Io(format!("{path:?}: {e}")))?;
+        file.write_all(header.as_bytes())
+            .map_err(|e| CheckpointError::Io(format!("{path:?}: {e}")))?;
+        file.sync_all()
+            .map_err(|e| CheckpointError::Io(format!("{path:?}: {e}")))?;
+        drop(file);
+        sync_parent_dir(&path)?;
+        Ok(ShardWriter {
+            path,
+            bytes_written: header.len() as u64,
+        })
+    }
+
+    /// Durably appends `lines` (already newline-terminated) to the shard.
+    fn append_raw(&mut self, text: &str) -> Result<(), CheckpointError> {
+        let mut file = std::fs::OpenOptions::new()
+            .append(true)
+            .open(&self.path)
+            .map_err(|e| CheckpointError::Io(format!("{:?}: {e}", self.path)))?;
+        file.write_all(text.as_bytes())
+            .map_err(|e| CheckpointError::Io(format!("{:?}: {e}", self.path)))?;
+        file.sync_all()
+            .map_err(|e| CheckpointError::Io(format!("{:?}: {e}", self.path)))?;
+        self.bytes_written += text.len() as u64;
+        Ok(())
+    }
+
+    /// Durably appends a batch of completed points.
+    pub fn append_points(&mut self, batch: &[CheckpointPoint]) -> Result<(), CheckpointError> {
+        let mut text = String::new();
+        for point in batch {
+            text.push_str(
+                &serde_json::to_string(point).map_err(|e| CheckpointError::Io(e.to_string()))?,
+            );
+            text.push('\n');
+        }
+        self.append_raw(&text)
+    }
+
+    /// Durably appends a lease record (claim or heartbeat renewal).
+    pub fn append_lease(&mut self, lease: &Lease) -> Result<(), CheckpointError> {
+        let line = LeaseLine {
+            lease: lease.clone(),
+        };
+        let mut text =
+            serde_json::to_string(&line).map_err(|e| CheckpointError::Io(e.to_string()))?;
+        text.push('\n');
+        self.append_raw(&text)
+    }
+
+    /// Total bytes this writer has appended, header included.
+    pub fn bytes_written(&self) -> u64 {
+        self.bytes_written
+    }
+
+    /// The shard file this writer appends to.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+/// The durable v3 sink: a [`ShardSet`] (exclusive open — locked, healed)
+/// plus this process's own [`ShardWriter`], created lazily at the first
+/// save. The default sink behind `--checkpoint`.
+#[derive(Debug)]
+pub struct ShardSink {
+    set: ShardSet,
+    writer: Option<ShardWriter>,
+    compaction_min_dead: usize,
+}
+
+impl ShardSink {
+    /// Opens (or prepares to create) the sharded checkpoint at `path`
+    /// exclusively, validating identity and healing torn shards. Legacy
+    /// v1/v2 checkpoints are served read-only and migrated at the first
+    /// save.
+    pub fn open(path: PathBuf, binary: &str, config: &str) -> Result<Self, CheckpointError> {
+        Ok(ShardSink {
+            set: ShardSet::open(path, binary, config, OpenMode::Exclusive)?,
+            writer: None,
+            compaction_min_dead: COMPACTION_MIN_DEAD,
+        })
+    }
+
+    /// The underlying merged set (coordinator-side range bookkeeping).
+    pub fn set_mut(&mut self) -> &mut ShardSet {
+        // A reload or compaction invalidates this process's append
+        // position assumptions only if the writer's file was removed;
+        // compaction goes through `compact_now`, which resets it.
+        &mut self.set
+    }
+
+    /// Read access to the merged set.
+    pub fn set(&self) -> &ShardSet {
+        &self.set
+    }
+
+    /// Overrides the compaction threshold (default
+    /// [`COMPACTION_MIN_DEAD`]): a save compacts once dead records
+    /// exceed `max(live, min_dead)`.
+    pub fn set_compaction_min_dead(&mut self, min_dead: usize) {
+        self.compaction_min_dead = min_dead;
+    }
+
+    /// Compacts the set into one shard if dead records exceed the
+    /// threshold (no-op otherwise). Safe only with no other writers.
+    pub fn compact_if_needed(&mut self) -> Result<(), CheckpointError> {
+        let dead = self
+            .set
+            .disk_records()
+            .saturating_sub(self.set.live_points());
+        if dead > self.set.live_points().max(self.compaction_min_dead) {
+            self.set.compact()?;
+            self.writer = None; // the old shard file is gone
+        }
+        Ok(())
+    }
+}
+
+impl CheckpointSink for ShardSink {
+    fn lookup(&self, key: &str) -> Option<&[String]> {
+        self.set.lookup(key)
+    }
+
+    fn append_batch(&mut self, batch: &[CheckpointPoint]) -> Result<(), CheckpointError> {
+        if batch.is_empty() {
+            return Ok(());
+        }
+        for point in batch {
+            self.set.upsert(point.clone());
+        }
+        // Unmigrated legacy records are in `live` but not `disk_records`
+        // yet, so the subtraction must saturate.
+        let after = self.set.disk_records + batch.len();
+        let dead = after.saturating_sub(self.set.live_points());
+        if dead > self.set.live_points().max(self.compaction_min_dead) {
+            // The batch is already upserted into `live`, so compaction
+            // persists it along with everything else.
+            self.set.compact()?;
+            self.writer = None;
+            return Ok(());
+        }
+        self.set.ensure_created()?;
+        if self.writer.is_none() {
+            let id = self.set.reserve_shard_id();
+            self.writer = Some(ShardWriter::create(
+                self.set.dir(),
+                id,
+                &self.set.binary,
+                &self.set.config,
+            )?);
+        }
+        self.writer
+            .as_mut()
+            .expect("writer just created")
+            .append_points(batch)?;
+        self.set.disk_records = after;
+        Ok(())
+    }
+
+    fn bytes_written(&self) -> u64 {
+        self.set.bytes_written + self.writer.as_ref().map_or(0, |w| w.bytes_written())
+    }
+}
+
 /// A checkpoint file parsed into records, however it was encoded.
 struct ParsedCheckpoint {
     /// Records in file order, duplicate keys preserved.
@@ -415,6 +1186,22 @@ fn open_parsed(
     };
     let first_line = text.lines().next().unwrap_or_default();
     if let Ok(header) = serde_json::from_str::<LogHeader>(first_line) {
+        if header.v == V3 {
+            // v3 header: the records live in the shard directory. Served
+            // read-only here (tests and tooling); live sweeps go through
+            // [`ShardSet`]/[`ShardSink`], which lock and heal.
+            check_identity(&header.binary, &header.config)?;
+            let dir = shard_dir(path);
+            let mut records = Vec::new();
+            for id in list_shards(&dir)? {
+                let shard = parse_shard(&shard_file(&dir, id), binary, config)?;
+                records.extend(shard.points);
+            }
+            return Ok(ParsedCheckpoint {
+                records,
+                appendable: false,
+            });
+        }
         // v2 log: one record per line after the header.
         if header.v != V2 {
             return Err(CheckpointError::Corrupt(format!(
@@ -784,5 +1571,278 @@ mod tests {
         null.append_batch(&[point("U=1", "1.00")]).unwrap();
         assert_eq!(null.lookup("U=1"), None);
         assert_eq!(null.bytes_written(), 0);
+    }
+
+    // ---- v3 (sharded) -------------------------------------------------
+
+    /// A fresh v3 path for `tag`, with any residue from a previous test
+    /// run removed.
+    fn temp_v3(tag: &str) -> PathBuf {
+        let path = temp_path(tag);
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_dir_all(shard_dir(&path));
+        path
+    }
+
+    fn cleanup_v3(path: &Path) {
+        let _ = std::fs::remove_file(path);
+        let _ = std::fs::remove_dir_all(shard_dir(path));
+    }
+
+    #[test]
+    fn shard_sink_round_trips_and_reads_back_through_every_reader() {
+        let path = temp_v3("v3-roundtrip");
+        let mut sink = ShardSink::open(path.clone(), "figX", "n=5").unwrap();
+        assert_eq!(sink.lookup("U=1"), None);
+        sink.append_batch(&[point("U=1", "1.00"), point("U=2", "1.00")])
+            .unwrap();
+        sink.append_batch(&[point("U=3", "2.00")]).unwrap();
+        assert!(sink.bytes_written() > 0);
+
+        // The header file is a one-line v3 header; records live in the
+        // shard directory.
+        let header = std::fs::read_to_string(&path).unwrap();
+        assert!(header.starts_with("{\"v\":3,"), "{header}");
+        assert_eq!(list_shards(&shard_dir(&path)).unwrap(), vec![0]);
+
+        // Reopen through the sink, the set, and the snapshot reader.
+        let back = ShardSink::open(path.clone(), "figX", "n=5").unwrap();
+        assert_eq!(back.set().live_points(), 3);
+        assert_eq!(back.lookup("U=2"), Some(&["U=2".into(), "1.00".into()][..]));
+        let snap = CheckpointState::open(Some(&path), "figX", "n=5").unwrap();
+        assert_eq!(snap.completed.len(), 3);
+        assert_eq!(snap.lookup("U=3"), Some(&["U=3".into(), "2.00".into()][..]));
+
+        // Identity mismatches are rejected exactly like v2.
+        drop(back);
+        assert!(matches!(
+            ShardSink::open(path.clone(), "figX", "n=6").unwrap_err(),
+            CheckpointError::Mismatch { .. }
+        ));
+        cleanup_v3(&path);
+    }
+
+    #[test]
+    fn later_shards_win_lww_across_the_set() {
+        let path = temp_v3("v3-lww");
+        {
+            let mut sink = ShardSink::open(path.clone(), "figX", "n=5").unwrap();
+            sink.append_batch(&[point("U=1", "stale"), point("U=2", "ok")])
+                .unwrap();
+        }
+        // A second writer (fresh shard id) recomputes U=1.
+        {
+            let mut set = ShardSet::open(path.clone(), "figX", "n=5", OpenMode::Exclusive).unwrap();
+            let id = set.reserve_shard_id();
+            let mut w = ShardWriter::create(set.dir(), id, "figX", "n=5").unwrap();
+            w.append_points(&[point("U=1", "recomputed")]).unwrap();
+        }
+        let set = ShardSet::open(path.clone(), "figX", "n=5", OpenMode::ReadOnly).unwrap();
+        assert_eq!(set.live_points(), 2);
+        assert_eq!(set.disk_records(), 3);
+        assert_eq!(
+            set.lookup("U=1"),
+            Some(&["U=1".into(), "recomputed".into()][..])
+        );
+        cleanup_v3(&path);
+    }
+
+    #[test]
+    fn torn_shard_heals_eagerly_on_exclusive_open_and_warns_once() {
+        let path = temp_v3("v3-heal");
+        {
+            let mut sink = ShardSink::open(path.clone(), "figX", "n=5").unwrap();
+            sink.append_batch(&[point("U=1", "1.00"), point("U=2", "1.00")])
+                .unwrap();
+        }
+        // Tear the shard mid-record, the way a SIGKILL does.
+        let shard = shard_file(&shard_dir(&path), 0);
+        let text = std::fs::read_to_string(&shard).unwrap();
+        std::fs::write(&shard, &text[..text.len() - 9]).unwrap();
+
+        // A read-only open drops the torn line but must NOT rewrite the
+        // shard (it may belong to a live writer).
+        let ro = ShardSet::open(path.clone(), "figX", "n=5", OpenMode::ReadOnly).unwrap();
+        assert_eq!(ro.live_points(), 1);
+        assert_eq!(ro.heal_events(), 0);
+        assert_eq!(
+            std::fs::read_to_string(&shard).unwrap().len(),
+            text.len() - 9
+        );
+
+        // The exclusive open heals: the shard is rewritten clean, once.
+        let healed = ShardSet::open(path.clone(), "figX", "n=5", OpenMode::Exclusive).unwrap();
+        assert_eq!(healed.live_points(), 1);
+        assert_eq!(healed.heal_events(), 1);
+        drop(healed);
+        let again = ShardSet::open(path.clone(), "figX", "n=5", OpenMode::Exclusive).unwrap();
+        assert_eq!(again.heal_events(), 0, "already healed: no re-warn");
+        assert_eq!(again.live_points(), 1);
+        cleanup_v3(&path);
+    }
+
+    #[test]
+    fn leases_round_trip_and_newest_wins() {
+        let path = temp_v3("v3-lease");
+        let mut set = ShardSet::open(path.clone(), "figX", "n=5", OpenMode::Exclusive).unwrap();
+        set.ensure_created().unwrap();
+        let id = set.reserve_shard_id();
+        let mut w = ShardWriter::create(set.dir(), id, "figX", "n=5").unwrap();
+        let mk = |deadline_ms| Lease {
+            pid: 4242,
+            start: 10,
+            len: 5,
+            deadline_ms,
+        };
+        w.append_lease(&mk(1_000)).unwrap();
+        w.append_points(&[point("U=1", "1.00")]).unwrap();
+        w.append_lease(&mk(2_000)).unwrap();
+        let (points, lease) = scan_shard(w.path(), "figX", "n=5");
+        assert_eq!(points, 1);
+        assert_eq!(lease, Some(mk(2_000)), "the renewal supersedes the claim");
+        // Leases are scheduler metadata, not data: the merged set ignores
+        // them.
+        drop(set);
+        let set = ShardSet::open(path.clone(), "figX", "n=5", OpenMode::Exclusive).unwrap();
+        assert_eq!(set.live_points(), 1);
+        cleanup_v3(&path);
+    }
+
+    #[test]
+    fn dir_lock_rejects_live_holders_and_reaps_stale_ones() {
+        let path = temp_v3("v3-lock");
+        let dir = shard_dir(&path);
+        std::fs::create_dir_all(&dir).unwrap();
+
+        // A live holder (this very process) blocks a second coordinator.
+        let lock_file = dir.join("LOCK");
+        std::fs::write(&lock_file, std::process::id().to_string()).unwrap();
+        // A *different* live pid: use pid 1 (init, always alive).
+        std::fs::write(&lock_file, "1").unwrap();
+        let err = ShardSet::open(path.clone(), "figX", "n=5", OpenMode::Exclusive).unwrap_err();
+        assert!(err.to_string().contains("another coordinator"), "{err}");
+
+        // A dead holder's lock is stale: reaped with a warning.
+        std::fs::write(&lock_file, "999999999").unwrap();
+        let set = ShardSet::open(path.clone(), "figX", "n=5", OpenMode::Exclusive).unwrap();
+        drop(set); // Drop releases the lock…
+        assert!(!lock_file.exists());
+
+        // …and read-only opens never take it.
+        let _ro = ShardSet::open(path.clone(), "figX", "n=5", OpenMode::ReadOnly).unwrap();
+        assert!(!lock_file.exists());
+        cleanup_v3(&path);
+    }
+
+    #[test]
+    fn v2_log_migrates_to_v3_at_first_save() {
+        let path = temp_v3("v3-from-v2");
+        {
+            let mut v2 = LogSink::open(path.clone(), "figX", "n=5").unwrap();
+            v2.append_batch(&[point("U=1", "1.00"), point("U=2", "1.00")])
+                .unwrap();
+        }
+        // Opening the v2 log with the sharded reader serves it read-only…
+        let mut sink = ShardSink::open(path.clone(), "figX", "n=5").unwrap();
+        assert_eq!(sink.set().live_points(), 2);
+        assert!(std::fs::read_to_string(&path)
+            .unwrap()
+            .starts_with("{\"v\":2,"));
+
+        // …and the first save migrates: header file + migration shard +
+        // the new append shard.
+        sink.append_batch(&[point("U=3", "2.00")]).unwrap();
+        assert!(std::fs::read_to_string(&path)
+            .unwrap()
+            .starts_with("{\"v\":3,"));
+        drop(sink);
+        let back = ShardSet::open(path.clone(), "figX", "n=5", OpenMode::Exclusive).unwrap();
+        assert_eq!(back.live_points(), 3);
+        assert_eq!(back.lookup("U=1"), Some(&["U=1".into(), "1.00".into()][..]));
+        cleanup_v3(&path);
+    }
+
+    #[test]
+    fn v1_document_migrates_to_v3_at_first_save() {
+        let path = temp_v3("v3-from-v1");
+        state("figX", "n=5", &["U=1", "U=2"])
+            .write_v1(&path)
+            .unwrap();
+        let mut sink = ShardSink::open(path.clone(), "figX", "n=5").unwrap();
+        assert_eq!(sink.lookup("U=2"), Some(&["U=2".into(), "1.00".into()][..]));
+        sink.append_batch(&[point("U=3", "2.00")]).unwrap();
+        assert!(std::fs::read_to_string(&path)
+            .unwrap()
+            .starts_with("{\"v\":3,"));
+        drop(sink);
+        let snap = CheckpointState::open(Some(&path), "figX", "n=5").unwrap();
+        assert_eq!(snap.completed.len(), 3);
+        cleanup_v3(&path);
+    }
+
+    #[test]
+    fn interrupted_migration_merges_legacy_then_shards() {
+        let path = temp_v3("v3-interrupted");
+        // The crash window: the migration shard was written durably but
+        // the v3 header did not yet replace the legacy file.
+        state("figX", "n=5", &["U=1"]).write_v1(&path).unwrap();
+        let dir = shard_dir(&path);
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut w = ShardWriter::create(&dir, 0, "figX", "n=5").unwrap();
+        w.append_points(&[point("U=1", "recomputed"), point("U=2", "2.00")])
+            .unwrap();
+        let set = ShardSet::open(path.clone(), "figX", "n=5", OpenMode::Exclusive).unwrap();
+        assert_eq!(set.live_points(), 2);
+        assert_eq!(
+            set.lookup("U=1"),
+            Some(&["U=1".into(), "recomputed".into()][..]),
+            "the shard (written later) must win over the legacy record"
+        );
+        cleanup_v3(&path);
+    }
+
+    #[test]
+    fn compaction_folds_the_set_into_one_shard() {
+        let path = temp_v3("v3-compact");
+        let mut sink = ShardSink::open(path.clone(), "figX", "n=5").unwrap();
+        sink.set_compaction_min_dead(4);
+        // 3 live keys rewritten each round; round 2's save pushes the
+        // dead debt past max(live, 4) and compacts mid-append.
+        for round in 0..3 {
+            sink.append_batch(&[
+                point("U=1", &format!("r{round}")),
+                point("U=2", &format!("r{round}")),
+                point("U=3", &format!("r{round}")),
+            ])
+            .unwrap();
+        }
+        drop(sink);
+        let shards = list_shards(&shard_dir(&path)).unwrap();
+        assert_eq!(
+            shards.len(),
+            1,
+            "compaction must leave one shard: {shards:?}"
+        );
+        let set = ShardSet::open(path.clone(), "figX", "n=5", OpenMode::Exclusive).unwrap();
+        assert_eq!(set.live_points(), 3);
+        assert_eq!(set.disk_records(), 3, "no dead records after compaction");
+        assert_eq!(set.lookup("U=2"), Some(&["U=2".into(), "r2".into()][..]));
+        cleanup_v3(&path);
+    }
+
+    #[test]
+    fn reload_folds_in_concurrently_written_shards() {
+        let path = temp_v3("v3-reload");
+        let mut set = ShardSet::open(path.clone(), "figX", "n=5", OpenMode::Exclusive).unwrap();
+        set.ensure_created().unwrap();
+        assert_eq!(set.live_points(), 0);
+        // Another process appends a shard after our open.
+        let id = set.reserve_shard_id();
+        let mut w = ShardWriter::create(set.dir(), id, "figX", "n=5").unwrap();
+        w.append_points(&[point("U=1", "1.00")]).unwrap();
+        assert_eq!(set.live_points(), 0, "not visible before reload");
+        set.reload().unwrap();
+        assert_eq!(set.live_points(), 1);
+        cleanup_v3(&path);
     }
 }

@@ -18,7 +18,7 @@
 //!   whose rows are computed and delivered independently.
 //!
 //! Crash tolerance composes with parallelism: with `--checkpoint <file>`
-//! completed rows are *appended* to a durable log (the v2 JSONL format,
+//! completed rows are *appended* to a durable sharded log (the v3 format,
 //! see [`crate::checkpoint`]) every `--batch` points (default: one batch
 //! per pool width) — save I/O is O(n) bytes over an n-point sweep.
 //! `--fail-after N` still simulates a crash (exit 3) after `N` fresh
@@ -27,6 +27,15 @@
 //! may resume under `--threads 1` and still reproduce the uninterrupted
 //! output byte-for-byte. Resume prints one `restored N/M points` summary
 //! (per-point lines only with `--verbose`, or when few points replayed).
+//!
+//! `--procs N` scales past one process: a coordinator spawns `N`
+//! supervised worker *processes* (each running `--threads` threads) that
+//! claim contiguous point ranges, append completed rows to their own
+//! checkpoint shard, and renew lease heartbeats; the supervisor reclaims
+//! expired leases and re-dispatches ranges with a bounded retry budget —
+//! a SIGKILL'd or hung worker degrades throughput, never correctness.
+//! See [`crate::procs`] for the protocol and the `--chaos` fault
+//! injector that exercises it.
 //!
 //! Observability is sharded too: each worker records into a private
 //! [`obs::Recorder`] — no cross-thread cache-line contention on the hot
@@ -43,13 +52,26 @@ use std::time::Instant;
 
 use crate::args::Args;
 use crate::checkpoint::{
-    panic_message, CheckpointError, CheckpointPoint, CheckpointSink, LogSink, NullSink,
+    panic_message, CheckpointError, CheckpointPoint, CheckpointSink, NullSink, ShardSink,
 };
+use crate::procs::{ChaosSpec, WorkerSpec};
 
 /// Hard ceiling on `--threads`: beyond this the flag is a typo, not a
 /// machine (matching the args.rs convention of printed errors + exit 2,
 /// never a panic or a silent clamp).
 pub const MAX_THREADS: usize = 1024;
+
+/// Hard ceiling on `--procs` (worker processes), same spirit as
+/// [`MAX_THREADS`].
+pub const MAX_PROCS: usize = 256;
+
+/// Default `--lease-ms`: how long a worker's range claim stays valid
+/// without a heartbeat renewal before the supervisor reclaims it.
+pub const DEFAULT_LEASE_MS: u64 = 3000;
+
+/// Default `--worker-retries`: re-dispatches of a range after its worker
+/// died or lost its lease, before the coordinator gives up on the sweep.
+pub const DEFAULT_WORKER_RETRIES: u64 = 2;
 
 /// Without `--verbose`, a resume prints per-point `restored` lines only
 /// when at most this many points replayed; above it, only the one-line
@@ -67,19 +89,38 @@ pub fn default_threads() -> usize {
 /// retries, and batched checkpointing. See the module docs for the
 /// contract.
 pub struct SweepDriver {
-    binary: String,
-    sink: Box<dyn CheckpointSink>,
-    threads: usize,
-    batch: usize,
+    pub(crate) binary: String,
+    pub(crate) sink: Box<dyn CheckpointSink>,
+    pub(crate) threads: usize,
+    pub(crate) batch: usize,
     /// Extra attempts after a panicking first attempt.
-    retries: u64,
+    pub(crate) retries: u64,
     /// Exit 3 after this many freshly computed points (0 = disabled).
-    fail_after: u64,
+    pub(crate) fail_after: u64,
     /// Per-point `restored` lines on resume regardless of count.
-    verbose: bool,
-    fresh: u64,
-    cached: u64,
-    failed: u64,
+    pub(crate) verbose: bool,
+    pub(crate) fresh: u64,
+    pub(crate) cached: u64,
+    pub(crate) failed: u64,
+    /// Worker processes to spawn (1 = in-process threads only).
+    pub(crate) procs: usize,
+    /// Checkpoint path (needed by the coordinator/worker paths, which
+    /// open it themselves instead of through `sink`).
+    pub(crate) path: Option<PathBuf>,
+    /// Sweep identity fingerprint (binary-specific flag summary).
+    pub(crate) config: String,
+    /// Lease validity window for worker heartbeats.
+    pub(crate) lease_ms: u64,
+    /// Range re-dispatch budget after worker deaths.
+    pub(crate) worker_retries: u64,
+    /// Points per dispatched range (`None` = auto: pending / (procs·4)).
+    pub(crate) chunk: Option<usize>,
+    /// Fault injection (`--chaos`), coordinator only.
+    pub(crate) chaos: Option<ChaosSpec>,
+    /// Set when this process *is* a spawned worker (`--_worker-shard`).
+    pub(crate) worker: Option<WorkerSpec>,
+    /// The argv to rebuild worker command lines from.
+    pub(crate) raw_args: Vec<String>,
 }
 
 impl SweepDriver {
@@ -116,9 +157,84 @@ impl SweepDriver {
             let retries: u64 = args.try_get_or("point-retries", 1)?;
             let fail_after: u64 = args.try_get_or("fail-after", 0)?;
             let path = args.get("checkpoint").map(PathBuf::from);
-            Self::with_parts(path, binary, config, threads, batch, retries, fail_after)
-                .map(|d| d.with_verbose(args.flag("verbose")))
-                .map_err(|e| e.to_string())
+            let procs = Self::parse_procs(args)?;
+            let chaos = ChaosSpec::from_args(args)?;
+            let worker = WorkerSpec::from_args(args)?;
+            let lease_ms: u64 = args.try_get_or("lease-ms", DEFAULT_LEASE_MS)?;
+            let worker_retries: u64 = args.try_get_or("worker-retries", DEFAULT_WORKER_RETRIES)?;
+            let chunk: Option<usize> = match args.get("chunk") {
+                None => None,
+                Some(_) => {
+                    let c: usize = args.try_get_or("chunk", 0)?;
+                    if c == 0 {
+                        return Err("--chunk 0: must be at least 1".to_string());
+                    }
+                    Some(c)
+                }
+            };
+            if lease_ms == 0 {
+                return Err("--lease-ms 0: must be at least 1".to_string());
+            }
+            if procs > 1 {
+                if path.is_none() {
+                    return Err(format!(
+                        "--procs {procs} requires --checkpoint: worker processes \
+                         exchange completed points through the sharded checkpoint"
+                    ));
+                }
+                if fail_after > 0 {
+                    return Err(
+                        "--fail-after simulates a single-process crash; with --procs, \
+                         kill workers via --chaos instead"
+                            .to_string(),
+                    );
+                }
+            } else if chaos.is_some() {
+                return Err("--chaos requires --procs > 1 (there is no worker to kill)".to_string());
+            }
+
+            let (sink, worker) = if let Some(spec) = worker {
+                // A spawned worker: the coordinator holds the directory
+                // lock; the worker opens the set read-only inside
+                // `run()` and appends to its own shard.
+                if path.is_none() {
+                    return Err("worker mode requires --checkpoint".to_string());
+                }
+                (Box::new(NullSink) as Box<dyn CheckpointSink>, Some(spec))
+            } else if procs > 1 {
+                // The coordinator computes nothing itself; it opens the
+                // shard set exclusively inside `run()`.
+                (Box::new(NullSink) as Box<dyn CheckpointSink>, None)
+            } else {
+                let sink: Box<dyn CheckpointSink> = match &path {
+                    Some(p) => Box::new(
+                        ShardSink::open(p.clone(), binary, &config).map_err(|e| e.to_string())?,
+                    ),
+                    None => Box::new(NullSink),
+                };
+                (sink, None)
+            };
+            Ok(SweepDriver {
+                binary: binary.to_string(),
+                sink,
+                threads,
+                batch,
+                retries,
+                fail_after,
+                verbose: args.flag("verbose"),
+                fresh: 0,
+                cached: 0,
+                failed: 0,
+                procs,
+                path,
+                config,
+                lease_ms,
+                worker_retries,
+                chunk,
+                chaos,
+                worker,
+                raw_args: args.raw().to_vec(),
+            })
         };
         match fallible() {
             Ok(d) => d,
@@ -127,6 +243,19 @@ impl SweepDriver {
                 std::process::exit(2);
             }
         }
+    }
+
+    /// Parses and validates `--procs` (worker process count): absent →
+    /// `1` (no subprocesses), `0` or values beyond [`MAX_PROCS`] → a
+    /// described error.
+    pub fn parse_procs(args: &Args) -> Result<usize, String> {
+        let procs: usize = args.try_get_or("procs", 1)?;
+        if procs == 0 || procs > MAX_PROCS {
+            return Err(format!(
+                "--procs {procs}: must be between 1 and {MAX_PROCS}"
+            ));
+        }
+        Ok(procs)
     }
 
     /// Parses and validates `--threads`: absent → `default`, `0` or
@@ -163,8 +292,8 @@ impl SweepDriver {
         fail_after: u64,
     ) -> Result<Self, CheckpointError> {
         assert!(threads >= 1 && batch >= 1, "validated by the caller");
-        let sink: Box<dyn CheckpointSink> = match path {
-            Some(p) => Box::new(LogSink::open(p, binary, &config)?),
+        let sink: Box<dyn CheckpointSink> = match &path {
+            Some(p) => Box::new(ShardSink::open(p.clone(), binary, &config)?),
             None => Box::new(NullSink),
         };
         Ok(SweepDriver {
@@ -178,6 +307,15 @@ impl SweepDriver {
             fresh: 0,
             cached: 0,
             failed: 0,
+            procs: 1,
+            path,
+            config,
+            lease_ms: DEFAULT_LEASE_MS,
+            worker_retries: DEFAULT_WORKER_RETRIES,
+            chunk: None,
+            chaos: None,
+            worker: None,
+            raw_args: Vec::new(),
         })
     }
 
@@ -209,6 +347,16 @@ impl SweepDriver {
     where
         F: Fn(usize, &obs::Recorder) -> Vec<String> + Sync,
     {
+        if self.worker.is_some() {
+            // This process is a spawned range worker: compute the range,
+            // append to our shard, and exit without printing the table.
+            crate::procs::run_worker(self, keys, &compute);
+        }
+        if self.procs > 1 {
+            // Coordinator: spawn and supervise `--procs` workers, then
+            // assemble the rows from the merged shard set.
+            return crate::procs::run_coordinator(self, keys, rec);
+        }
         let mut results: Vec<Option<Vec<String>>> = vec![None; keys.len()];
         let mut pending: Vec<usize> = Vec::new();
         let mut restored: Vec<&str> = Vec::new();
@@ -250,7 +398,7 @@ impl SweepDriver {
 
     /// The parallel section: dispatch `pending` across the pool, stream
     /// completions back for batched saves, merge observability shards.
-    fn run_pending<F>(
+    pub(crate) fn run_pending<F>(
         &mut self,
         keys: &[String],
         pending: &[usize],
@@ -445,6 +593,12 @@ mod tests {
         std::env::temp_dir().join(format!("pfair-driver-{}-{tag}.json", std::process::id()))
     }
 
+    /// Removes the checkpoint header file and its v3 shard directory.
+    fn cleanup(path: &PathBuf) {
+        let _ = std::fs::remove_file(path);
+        let _ = std::fs::remove_dir_all(crate::checkpoint::shard_dir(path));
+    }
+
     #[test]
     fn rows_are_byte_identical_across_thread_counts() {
         // The determinism guarantee, as a property over several sweep
@@ -483,7 +637,7 @@ mod tests {
     #[test]
     fn parallel_resume_replays_to_identical_rows() {
         let path = temp_path("resume");
-        let _ = std::fs::remove_file(&path);
+        cleanup(&path);
         let ks = keys(12);
         let serial: Vec<Option<Vec<String>>> = (0..12).map(|i| Some(row_for(i))).collect();
 
@@ -511,7 +665,7 @@ mod tests {
         assert_eq!(resumed, serial);
         assert_eq!(second.cached_points(), 7);
         assert_eq!(second.fresh_points(), 5);
-        let _ = std::fs::remove_file(&path);
+        cleanup(&path);
     }
 
     /// Second-run compute: asserts the first `cached` points are never
@@ -584,7 +738,7 @@ mod tests {
     #[test]
     fn batched_saves_commit_every_completed_point() {
         let path = temp_path("batch");
-        let _ = std::fs::remove_file(&path);
+        cleanup(&path);
         // batch = 5 over 7 points: one full batch plus a final partial
         // flush — the checkpoint must still end up with all 7 rows.
         let mut d =
@@ -596,7 +750,7 @@ mod tests {
         for i in 0..7 {
             assert_eq!(saved.lookup(&format!("K={i}")), Some(&row_for(i)[..]));
         }
-        let _ = std::fs::remove_file(&path);
+        cleanup(&path);
     }
 
     #[test]

@@ -23,7 +23,10 @@
 //! output byte-identical for any thread count, and `--checkpoint <file>`
 //! persists every completed batch atomically so an interrupted run
 //! resumes where it left off; sweep points run under `catch_unwind`
-//! with `--point-retries` (see [`driver`] and [`checkpoint`]). `fig5`,
+//! with `--point-retries` (see [`driver`] and [`checkpoint`]).
+//! `--procs N` adds a layer of supervised worker *processes* on top —
+//! crash-tolerant via checkpoint shards and lease heartbeats (see
+//! [`procs`]), with `--chaos` fault injection for testing. `fig5`,
 //! `dhall`, and `show` are single-shot demonstrations and intentionally
 //! have neither a pool nor checkpoint support.
 
@@ -36,9 +39,13 @@ pub mod driver;
 pub mod fig2;
 pub mod fig34;
 pub mod metrics;
+pub mod procs;
 pub mod quantum;
 
 pub use args::Args;
-pub use checkpoint::{CheckpointPoint, CheckpointSink, CheckpointState, LogSink, NullSink};
+pub use checkpoint::{
+    CheckpointPoint, CheckpointSink, CheckpointState, Lease, LogSink, NullSink, ShardSet,
+    ShardSink, ShardWriter,
+};
 pub use driver::SweepDriver;
 pub use metrics::{recorder, write_metrics};

@@ -5,9 +5,9 @@
 //!
 //! Exercises the full binary surface via `CARGO_BIN_EXE_fig3`: exit code 3
 //! on the simulated crash, "restored from checkpoint" progress lines on
-//! resume, exit code 2 on config mismatch. Also covers the v2 log format
-//! at scale (a 10⁴-point synthetic sweep must write O(n) checkpoint
-//! bytes) and the transparent v1→v2 migration.
+//! resume, exit code 2 on config mismatch. Also covers the v3 sharded
+//! format at scale (a 10⁴-point synthetic sweep must write O(n)
+//! checkpoint bytes) and the transparent v1→v3 migration.
 
 use experiments::{CheckpointState, SweepDriver};
 use std::path::PathBuf;
@@ -29,10 +29,16 @@ fn temp_path(tag: &str) -> PathBuf {
     std::env::temp_dir().join(format!("pfair-resume-{}-{tag}.json", std::process::id()))
 }
 
+/// Removes the checkpoint header file and its v3 shard directory.
+fn cleanup(ck: &PathBuf) {
+    let _ = std::fs::remove_file(ck);
+    let _ = std::fs::remove_dir_all(experiments::checkpoint::shard_dir(ck));
+}
+
 #[test]
 fn killed_sweep_resumes_to_identical_output() {
     let ck = temp_path("smoke");
-    let _ = std::fs::remove_file(&ck);
+    cleanup(&ck);
     let ck_str = ck.to_str().unwrap();
 
     // Reference: the same sweep, uninterrupted and uncheckpointed.
@@ -85,13 +91,13 @@ fn killed_sweep_resumes_to_identical_output() {
         String::from_utf8_lossy(&mismatched.stderr)
     );
 
-    let _ = std::fs::remove_file(&ck);
+    cleanup(&ck);
 }
 
 #[test]
 fn parallel_sweep_is_deterministic_and_resumes_across_thread_counts() {
     let ck = temp_path("parallel");
-    let _ = std::fs::remove_file(&ck);
+    cleanup(&ck);
     let ck_str = ck.to_str().unwrap();
 
     // The determinism guarantee at the binary surface: stdout is
@@ -151,7 +157,7 @@ fn parallel_sweep_is_deterministic_and_resumes_across_thread_counts() {
         assert!(!stderr.contains("panicked"), "{stderr}");
     }
 
-    let _ = std::fs::remove_file(&ck);
+    cleanup(&ck);
 }
 
 /// The `binary`/`config` identity the `ARGS` invocation of fig3 writes
@@ -159,9 +165,9 @@ fn parallel_sweep_is_deterministic_and_resumes_across_thread_counts() {
 const FIG3_CONFIG: &str = "tasks=8 sets=2 points=3 seed=3";
 
 #[test]
-fn v1_checkpoint_resumes_transparently_and_migrates_to_v2() {
+fn v1_checkpoint_resumes_transparently_and_migrates_to_v3() {
     let ck = temp_path("v1migrate");
-    let _ = std::fs::remove_file(&ck);
+    cleanup(&ck);
     let ck_str = ck.to_str().unwrap();
 
     // Reference: the same sweep, uninterrupted and uncheckpointed.
@@ -170,20 +176,23 @@ fn v1_checkpoint_resumes_transparently_and_migrates_to_v2() {
     let expected = String::from_utf8(reference.stdout).unwrap();
 
     // Crash a checkpointed run, then rewrite its checkpoint in the
-    // legacy v1 format — exactly the file a pre-v2 build left behind.
+    // legacy v1 format — exactly the file a pre-v2 build left behind
+    // (shard directory removed: a pre-v3 build had none).
     let crashed = fig3(&["--checkpoint", ck_str, "--fail-after", "1"]);
     assert_eq!(crashed.status.code(), Some(3));
     let snap = CheckpointState::open(Some(&ck), "fig3", FIG3_CONFIG)
         .expect("crashed checkpoint must be readable");
     assert!(!snap.completed.is_empty());
     snap.write_v1(&ck).unwrap();
+    let _ = std::fs::remove_dir_all(experiments::checkpoint::shard_dir(&ck));
     assert!(
         std::fs::read_to_string(&ck).unwrap().starts_with("{\n"),
         "precondition: the checkpoint is now a v1 pretty-JSON document"
     );
 
     // Resume on the v1 file: no manual intervention, byte-identical
-    // output, and the file is rewritten as a v2 log by the first save.
+    // output, and the checkpoint is rewritten as a v3 shard set by the
+    // first save.
     let resumed = fig3(&["--checkpoint", ck_str]);
     assert!(
         resumed.status.success(),
@@ -193,11 +202,11 @@ fn v1_checkpoint_resumes_transparently_and_migrates_to_v2() {
     assert_eq!(String::from_utf8(resumed.stdout).unwrap(), expected);
     let migrated = std::fs::read_to_string(&ck).unwrap();
     assert!(
-        migrated.starts_with("{\"v\":2,"),
-        "resume must migrate the checkpoint to the v2 log: {migrated}"
+        migrated.starts_with("{\"v\":3,"),
+        "resume must migrate the checkpoint to the v3 shard set: {migrated}"
     );
 
-    // A second resume serves every point from the migrated log.
+    // A second resume serves every point from the migrated shard set.
     let replayed = fig3(&["--checkpoint", ck_str]);
     assert!(replayed.status.success());
     assert_eq!(String::from_utf8(replayed.stdout).unwrap(), expected);
@@ -207,7 +216,7 @@ fn v1_checkpoint_resumes_transparently_and_migrates_to_v2() {
         "{stderr}"
     );
 
-    let _ = std::fs::remove_file(&ck);
+    cleanup(&ck);
 }
 
 /// A ≥10⁴-point sweep through the driver API: resume must still be
@@ -218,7 +227,7 @@ fn v1_checkpoint_resumes_transparently_and_migrates_to_v2() {
 fn large_sweep_writes_linear_checkpoint_bytes_and_resumes_identically() {
     const N: usize = 10_000;
     let ck = temp_path("large");
-    let _ = std::fs::remove_file(&ck);
+    cleanup(&ck);
     let keys: Vec<String> = (0..N).map(|i| format!("K={i:05}")).collect();
     let row_for = |i: usize| -> Vec<String> {
         vec![
@@ -264,10 +273,15 @@ fn large_sweep_writes_linear_checkpoint_bytes_and_resumes_identically() {
         total_bytes < (N as u64) * 200,
         "checkpoint I/O must be O(n): wrote {total_bytes} bytes for {N} points"
     );
-    let file_len = std::fs::metadata(&ck).unwrap().len();
+    let disk_len: u64 = std::fs::read_dir(experiments::checkpoint::shard_dir(&ck))
+        .unwrap()
+        .flatten()
+        .filter_map(|e| e.metadata().ok())
+        .map(|m| m.len())
+        .sum();
     assert!(
-        file_len < (N as u64) * 200,
-        "checkpoint file must be O(n): {file_len} bytes for {N} points"
+        disk_len < (N as u64) * 200,
+        "checkpoint set must be O(n): {disk_len} bytes for {N} points"
     );
 
     // A full replay appends nothing: all points are already live.
@@ -278,5 +292,5 @@ fn large_sweep_writes_linear_checkpoint_bytes_and_resumes_identically() {
     assert_eq!(replayed, expected);
     assert_eq!(third.checkpoint_bytes_written(), 0);
 
-    let _ = std::fs::remove_file(&ck);
+    cleanup(&ck);
 }

@@ -1,0 +1,203 @@
+//! Multi-process sweep gate (CI): `--procs N` must produce output
+//! byte-identical to a single-process, single-thread run — including when
+//! a worker is SIGKILLed mid-range with its shard tail torn (`--chaos`),
+//! and when the retry budget is exhausted and a fresh run resumes from
+//! whatever the dead workers committed.
+//!
+//! Exercises the full binary surface via `CARGO_BIN_EXE_fig3`: the
+//! coordinator/worker re-exec protocol, shard-per-worker checkpoint
+//! writes, lease-based supervision, and the flag validation in
+//! `SweepDriver::new`. The chaos workload is sized so every point takes
+//! ~100 ms: a worker that has just committed its first point is still
+//! mid-computation on its second when the kill threshold trips, so the
+//! injected kill lands on a live process in every run.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+/// ~100 ms per point in both debug and release builds; 6 points across
+/// 3 workers at `--chunk 2` gives each worker a two-point range.
+const HEAVY: [&str; 11] = [
+    "--tasks", "100", "--sets", "150", "--points", "6", "--seed", "3", "--csv", "--batch", "1",
+];
+
+fn fig3(args: &[&str], extra: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_fig3"))
+        .args(args)
+        .args(extra)
+        .output()
+        .expect("failed to spawn fig3")
+}
+
+fn temp_ck(tag: &str) -> (PathBuf, String) {
+    let ck = std::env::temp_dir().join(format!("pfair-mp-{}-{tag}.json", std::process::id()));
+    let s = ck.to_str().unwrap().to_string();
+    (ck, s)
+}
+
+/// Removes the checkpoint header file and its v3 shard directory.
+fn cleanup(ck: &PathBuf) {
+    let _ = std::fs::remove_file(ck);
+    let _ = std::fs::remove_dir_all(experiments::checkpoint::shard_dir(ck));
+}
+
+#[test]
+fn multiprocess_sweep_matches_single_process_byte_for_byte() {
+    let (ck, ck_str) = temp_ck("det");
+    cleanup(&ck);
+
+    let clean = fig3(&HEAVY, &["--threads", "1"]);
+    assert!(clean.status.success());
+    let expected = String::from_utf8(clean.stdout).unwrap();
+    assert!(expected.lines().count() > 1, "clean run produced no rows");
+
+    let multi = fig3(
+        &HEAVY,
+        &["--procs", "3", "--threads", "2", "--checkpoint", &ck_str],
+    );
+    assert!(
+        multi.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&multi.stderr)
+    );
+    assert_eq!(
+        String::from_utf8(multi.stdout).unwrap(),
+        expected,
+        "--procs 3 --threads 2 must be byte-identical to --threads 1"
+    );
+
+    // The coordinator left a v3 shard set behind; a rerun over it serves
+    // every point from cache and still matches.
+    let cached = fig3(&HEAVY, &["--procs", "3", "--checkpoint", &ck_str]);
+    assert!(cached.status.success());
+    assert_eq!(String::from_utf8(cached.stdout).unwrap(), expected);
+    cleanup(&ck);
+}
+
+#[test]
+fn chaos_kill_with_torn_tail_recovers_in_run() {
+    let (ck, ck_str) = temp_ck("chaos");
+    cleanup(&ck);
+
+    let clean = fig3(&HEAVY, &["--threads", "1"]);
+    assert!(clean.status.success());
+    let expected = String::from_utf8(clean.stdout).unwrap();
+
+    let chaos = fig3(
+        &HEAVY,
+        &[
+            "--procs",
+            "3",
+            "--threads",
+            "1",
+            "--chunk",
+            "2",
+            "--checkpoint",
+            &ck_str,
+            "--chaos",
+            "kill-after=1,torn-tail",
+        ],
+    );
+    let stderr = String::from_utf8_lossy(&chaos.stderr).into_owned();
+    assert!(chaos.status.success(), "stderr: {stderr}");
+    assert!(
+        stderr.contains("chaos: killed"),
+        "the injected kill must actually fire: {stderr}"
+    );
+    assert_eq!(
+        String::from_utf8(chaos.stdout).unwrap(),
+        expected,
+        "output after a mid-range SIGKILL + torn shard tail must be byte-identical"
+    );
+    cleanup(&ck);
+}
+
+#[test]
+fn exhausted_retry_budget_fails_loud_and_a_rerun_resumes() {
+    let (ck, ck_str) = temp_ck("abandon");
+    cleanup(&ck);
+
+    let clean = fig3(&HEAVY, &["--threads", "1"]);
+    assert!(clean.status.success());
+    let expected = String::from_utf8(clean.stdout).unwrap();
+
+    // With a zero retry budget the killed range is abandoned: partial
+    // CSV is still printed, but the exit code must flag the loss.
+    let chaos = fig3(
+        &HEAVY,
+        &[
+            "--procs",
+            "3",
+            "--threads",
+            "1",
+            "--chunk",
+            "2",
+            "--checkpoint",
+            &ck_str,
+            "--chaos",
+            "kill-after=1,torn-tail",
+            "--worker-retries",
+            "0",
+        ],
+    );
+    let stderr = String::from_utf8_lossy(&chaos.stderr).into_owned();
+    assert_eq!(chaos.status.code(), Some(1), "stderr: {stderr}");
+    assert!(
+        stderr.contains("gave up on"),
+        "abandonment must be reported: {stderr}"
+    );
+
+    // A plain rerun over the same checkpoint restores the surviving
+    // points and recomputes the abandoned range.
+    let resumed = fig3(&HEAVY, &["--checkpoint", &ck_str]);
+    assert!(
+        resumed.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&resumed.stderr)
+    );
+    let rerr = String::from_utf8_lossy(&resumed.stderr).into_owned();
+    assert!(
+        rerr.contains("restored"),
+        "the rerun must restore committed points: {rerr}"
+    );
+    assert_eq!(String::from_utf8(resumed.stdout).unwrap(), expected);
+    cleanup(&ck);
+}
+
+#[test]
+fn multiprocess_flags_are_validated() {
+    // --procs without --checkpoint: no shared store for workers.
+    let out = fig3(&["--procs", "2"], &[]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--checkpoint"));
+
+    // --chaos without --procs: nothing to kill.
+    let (ck, ck_str) = temp_ck("flags");
+    cleanup(&ck);
+    let out = fig3(&["--checkpoint", &ck_str, "--chaos", "kill-after=1"], &[]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--procs"));
+
+    // --fail-after under --procs: crash injection belongs to --chaos.
+    let out = fig3(
+        &["--procs", "2", "--checkpoint", &ck_str, "--fail-after", "1"],
+        &[],
+    );
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--chaos"));
+
+    // Malformed chaos spec.
+    let out = fig3(
+        &[
+            "--procs",
+            "2",
+            "--checkpoint",
+            &ck_str,
+            "--chaos",
+            "kill-after=0",
+        ],
+        &[],
+    );
+    assert_eq!(out.status.code(), Some(2));
+    cleanup(&ck);
+}
