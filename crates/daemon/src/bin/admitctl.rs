@@ -1,0 +1,180 @@
+//! Operator CLI for the admission daemon.
+//!
+//! ```text
+//! admitctl --socket S join --wcet-us 1000 --period-us 10000
+//! admitctl --socket S leave --task 3
+//! admitctl --socket S reweight --task 3 --wcet-us 2000 --period-us 10000
+//! admitctl --socket S stats
+//! admitctl --socket S watch [--frames 10]
+//! admitctl --socket S shutdown
+//! ```
+//!
+//! Exit codes: 0 = the daemon said yes (admitted/left/stats/...),
+//! 1 = the daemon said no (rejected or error reply, daemon died),
+//! 2 = usage / transport failure. `stats` prints the metrics snapshot
+//! JSON on stdout so scripts can parse it.
+
+use daemon::cli::Cli;
+use daemon::client::DaemonClient;
+use daemon::proto::{Status, StreamKind};
+
+const USAGE: &str = "admitctl --socket <path> <join|leave|reweight|stats|watch|shutdown> [options]";
+
+fn main() {
+    let cli = Cli::parse();
+    let socket = cli.require("socket", USAGE);
+    let mut client = match DaemonClient::connect(socket) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("admitctl: connecting to {socket}: {e}");
+            std::process::exit(2);
+        }
+    };
+
+    let cmd = cli.positional(0).unwrap_or_else(|| {
+        eprintln!("usage: {USAGE}");
+        std::process::exit(2);
+    });
+
+    let result = match cmd {
+        "join" => client.join(
+            cli.require("wcet-us", USAGE)
+                .parse()
+                .unwrap_or_else(bad("wcet-us")),
+            cli.require("period-us", USAGE)
+                .parse()
+                .unwrap_or_else(bad("period-us")),
+        ),
+        "leave" => client.leave(
+            cli.require("task", USAGE)
+                .parse()
+                .unwrap_or_else(bad("task")),
+        ),
+        "reweight" => client.reweight(
+            cli.require("task", USAGE)
+                .parse()
+                .unwrap_or_else(bad("task")),
+            cli.require("wcet-us", USAGE)
+                .parse()
+                .unwrap_or_else(bad("wcet-us")),
+            cli.require("period-us", USAGE)
+                .parse()
+                .unwrap_or_else(bad("period-us")),
+        ),
+        "stats" => client.stats(),
+        "shutdown" => client.shutdown(),
+        "watch" => {
+            let frames: u64 = cli.get_or("frames", 10);
+            return watch(client, frames);
+        }
+        other => {
+            eprintln!("admitctl: unknown command `{other}`\nusage: {USAGE}");
+            std::process::exit(2);
+        }
+    };
+
+    let reply = match result {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("admitctl: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    match reply.status {
+        Status::Admitted => {
+            println!(
+                "admitted task={} weight={}/{} quanta={} period_quanta={} first_release={} slot={}",
+                reply.task.unwrap_or(0),
+                reply.weight_num.unwrap_or(0),
+                reply.weight_den.unwrap_or(0),
+                reply.quanta.unwrap_or(0),
+                reply.period_quanta.unwrap_or(0),
+                reply.first_release.unwrap_or(0),
+                reply.slot,
+            );
+        }
+        Status::Left => {
+            println!(
+                "left task={} free_at={} slot={}",
+                reply.task.unwrap_or(0),
+                reply.free_at.unwrap_or(0),
+                reply.slot,
+            );
+        }
+        Status::Stats => {
+            eprintln!(
+                "slot={} tasks={} weight_ppm={}",
+                reply.slot,
+                reply.task_count.unwrap_or(0),
+                reply.weight_ppm.unwrap_or(0),
+            );
+            println!("{}", reply.snapshot.unwrap_or_else(|| "{}".to_string()));
+        }
+        Status::ShuttingDown => println!("daemon shutting down (slot={})", reply.slot),
+        Status::Rejected => {
+            eprintln!(
+                "rejected: {} (slot={})",
+                reply.error.as_deref().unwrap_or("no reason given"),
+                reply.slot,
+            );
+            std::process::exit(1);
+        }
+        Status::Error => {
+            eprintln!(
+                "error: {} (slot={})",
+                reply.error.as_deref().unwrap_or("no detail"),
+                reply.slot,
+            );
+            std::process::exit(1);
+        }
+        Status::Subscribed => unreachable!("subscribe is only sent by `watch`"),
+    }
+}
+
+fn bad<T>(key: &'static str) -> impl Fn(std::num::ParseIntError) -> T {
+    move |_| {
+        eprintln!("admitctl: invalid value for --{key}");
+        std::process::exit(2);
+    }
+}
+
+/// Streams `frames` decision/snapshot frames to stdout, then exits. A
+/// daemon death surfaces as a clean error with exit 1, never a hang.
+fn watch(client: DaemonClient, frames: u64) {
+    let mut sub = match client.subscribe() {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("admitctl: subscribe: {e}");
+            std::process::exit(1);
+        }
+    };
+    let mut seen = 0;
+    while seen < frames {
+        match sub.next() {
+            Ok(msg) => {
+                match msg.kind {
+                    StreamKind::Decision => println!(
+                        "slot={} scheduled={:?}",
+                        msg.slot,
+                        msg.scheduled.unwrap_or_default()
+                    ),
+                    StreamKind::Snapshot => println!(
+                        "slot={} snapshot={}",
+                        msg.slot,
+                        msg.snapshot.unwrap_or_default()
+                    ),
+                    StreamKind::Bye => {
+                        println!("daemon said goodbye (slot={})", msg.slot);
+                        return;
+                    }
+                }
+                seen += 1;
+            }
+            Err(e) => {
+                eprintln!("admitctl: stream ended: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+}

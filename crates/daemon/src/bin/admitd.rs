@@ -1,0 +1,80 @@
+//! The admission daemon binary.
+//!
+//! ```text
+//! admitd --socket /tmp/admit.sock --cpus 4 [--pace real|virtual]
+//!        [--quantum-us 1000] [--ctx-switch-us 5] [--no-overhead]
+//!        [--max-batch 1024] [--snapshot-every 256] [--no-trace]
+//!        [--trace-out trace.json] [--metrics-out metrics.json]
+//! ```
+//!
+//! Prints `admitd: listening on <path>` to stderr once the socket is
+//! bound, serves until a client sends Shutdown, then optionally dumps the
+//! full [`ScheduleTrace`](sched_sim::ScheduleTrace) (verifiable offline
+//! with `verify_trace`) and the final metrics snapshot.
+
+use daemon::cli::Cli;
+use daemon::server::{self, Pace, ServerConfig};
+use overhead::OverheadParams;
+use std::path::PathBuf;
+
+fn main() {
+    let cli = Cli::parse();
+    let socket = PathBuf::from(cli.require("socket", "admitd --socket <path> [options]"));
+    let cpus: u32 = cli.get_or("cpus", 4);
+
+    let mut params = if cli.flag("no-overhead") {
+        OverheadParams::zero()
+    } else {
+        OverheadParams::paper2003()
+    };
+    params.quantum_us = cli.get_or("quantum-us", params.quantum_us);
+    params.ctx_switch_us = cli.get_or("ctx-switch-us", params.ctx_switch_us);
+
+    let mut cfg = ServerConfig::new(socket.clone(), cpus);
+    cfg.core.params = params;
+    cfg.core.max_batch = cli.get_or("max-batch", cfg.core.max_batch);
+    cfg.core.record_trace = !cli.flag("no-trace");
+    cfg.snapshot_every = cli.get_or("snapshot-every", cfg.snapshot_every);
+    cfg.pace = match cli.get("pace").unwrap_or("virtual") {
+        "virtual" => Pace::Virtual,
+        "real" => Pace::RealTime,
+        other => {
+            eprintln!("admitd: unknown --pace {other} (expected real|virtual)");
+            std::process::exit(2);
+        }
+    };
+
+    eprintln!("admitd: listening on {}", socket.display());
+    let report = match server::run(cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("admitd: {e}");
+            std::process::exit(2);
+        }
+    };
+
+    let (admitted, rejected, left, reweighted) = report.counts;
+    eprintln!(
+        "admitd: shut down after {} slot(s): {admitted} admitted, {rejected} rejected, \
+         {left} left, {reweighted} reweighted",
+        report.slots
+    );
+    if let Some(path) = cli.get("trace-out") {
+        match &report.trace {
+            Some(trace) => {
+                if let Err(e) = std::fs::write(path, trace.to_json()) {
+                    eprintln!("admitd: writing {path}: {e}");
+                    std::process::exit(2);
+                }
+                eprintln!("admitd: trace written to {path}");
+            }
+            None => eprintln!("admitd: --trace-out ignored (started with --no-trace)"),
+        }
+    }
+    if let Some(path) = cli.get("metrics-out") {
+        if let Err(e) = std::fs::write(path, report.snapshot.to_json()) {
+            eprintln!("admitd: writing {path}: {e}");
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,105 @@
+//! Minimal `--key value` argument parsing for the daemon binaries.
+//!
+//! Same conventions as the experiments crate's parser (a `--key` whose
+//! next token starts with `--` is a bare flag), plus positional tokens
+//! for `admitctl`-style subcommands. Kept local because `experiments`
+//! depends on this crate — the parsers must not form a cycle.
+
+use std::collections::BTreeMap;
+
+/// Parsed command line: positionals plus `--key [value]` pairs.
+#[derive(Debug, Default)]
+pub struct Cli {
+    positional: Vec<String>,
+    named: BTreeMap<String, String>,
+    flags: Vec<String>,
+}
+
+impl Cli {
+    /// Parses `std::env::args` (skipping the binary name).
+    pub fn parse() -> Cli {
+        Self::from_args(std::env::args().skip(1))
+    }
+
+    /// Parses an explicit token stream.
+    pub fn from_args<I: Iterator<Item = String>>(args: I) -> Cli {
+        let mut cli = Cli::default();
+        let mut it = args.peekable();
+        while let Some(tok) = it.next() {
+            if let Some(key) = tok.strip_prefix("--") {
+                match it.peek() {
+                    Some(v) if !v.starts_with("--") => {
+                        let v = it.next().expect("peeked");
+                        cli.named.insert(key.to_string(), v);
+                    }
+                    _ => cli.flags.push(key.to_string()),
+                }
+            } else {
+                cli.positional.push(tok);
+            }
+        }
+        cli
+    }
+
+    /// The `i`-th positional token (subcommand etc.).
+    pub fn positional(&self, i: usize) -> Option<&str> {
+        self.positional.get(i).map(String::as_str)
+    }
+
+    /// The raw value of `--key`, if present.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.named.get(key).map(String::as_str)
+    }
+
+    /// Whether bare `--key` was passed.
+    pub fn flag(&self, key: &str) -> bool {
+        self.flags.iter().any(|f| f == key)
+    }
+
+    /// Parses `--key` as `T`, defaulting when absent. Exits with code 2
+    /// on an unparsable value — these are operator binaries.
+    pub fn get_or<T: std::str::FromStr>(&self, key: &str, default: T) -> T {
+        match self.get(key) {
+            None => default,
+            Some(v) => v.parse().unwrap_or_else(|_| {
+                eprintln!("invalid value for --{key}: {v}");
+                std::process::exit(2);
+            }),
+        }
+    }
+
+    /// The value of `--key`, or exits with code 2 and `usage`.
+    pub fn require(&self, key: &str, usage: &str) -> &str {
+        self.get(key).unwrap_or_else(|| {
+            eprintln!("missing required --{key}\nusage: {usage}");
+            std::process::exit(2);
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cli(toks: &[&str]) -> Cli {
+        Cli::from_args(toks.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn parses_subcommand_pairs_and_flags() {
+        let c = cli(&[
+            "join",
+            "--wcet-us",
+            "1000",
+            "--verbose",
+            "--period-us",
+            "4000",
+        ]);
+        assert_eq!(c.positional(0), Some("join"));
+        assert_eq!(c.get("wcet-us"), Some("1000"));
+        assert_eq!(c.get_or::<u64>("period-us", 0), 4000);
+        assert!(c.flag("verbose"));
+        assert!(!c.flag("quiet"));
+        assert_eq!(c.get_or::<u64>("absent", 7), 7);
+    }
+}

@@ -1,0 +1,214 @@
+//! Client side of the admission protocol: what host processes link.
+//!
+//! [`DaemonClient`] wraps one connection. The simple wrappers
+//! ([`DaemonClient::join`] etc.) are call/response; [`DaemonClient::send`]
+//! / [`DaemonClient::recv`] expose the two halves so open-loop load
+//! generators can keep a window of requests in flight. Every read carries
+//! a timeout, and a daemon that dies mid-stream (SIGKILL included)
+//! surfaces as [`ClientError::Disconnected`] — never a hang.
+
+use crate::proto::{read_frame, write_frame, Op, Reply, Request, Status, StreamMsg};
+use std::fmt;
+use std::io;
+use std::os::unix::net::UnixStream;
+use std::path::Path;
+use std::time::{Duration, Instant};
+
+/// Why a client call failed.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport error (includes read timeouts).
+    Io(io::Error),
+    /// The daemon closed the connection (or was killed) while a reply
+    /// was outstanding.
+    Disconnected,
+    /// The daemon answered something unintelligible.
+    Protocol(String),
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "transport error: {e}"),
+            ClientError::Disconnected => write!(f, "daemon closed the connection"),
+            ClientError::Protocol(msg) => write!(f, "protocol error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+/// One connection to the admission daemon.
+pub struct DaemonClient {
+    stream: UnixStream,
+    next_nonce: u64,
+}
+
+impl DaemonClient {
+    /// Connects, with a default 10 s read timeout.
+    pub fn connect<P: AsRef<Path>>(socket: P) -> io::Result<DaemonClient> {
+        let stream = UnixStream::connect(socket)?;
+        stream.set_read_timeout(Some(Duration::from_secs(10)))?;
+        Ok(DaemonClient {
+            stream,
+            next_nonce: 1,
+        })
+    }
+
+    /// Connects, retrying until `deadline` elapses — for racing a daemon
+    /// that is still binding its socket.
+    pub fn connect_retry<P: AsRef<Path>>(
+        socket: P,
+        deadline: Duration,
+    ) -> io::Result<DaemonClient> {
+        let start = Instant::now();
+        loop {
+            match Self::connect(socket.as_ref()) {
+                Ok(c) => return Ok(c),
+                Err(e) if start.elapsed() >= deadline => return Err(e),
+                Err(_) => std::thread::sleep(Duration::from_millis(10)),
+            }
+        }
+    }
+
+    /// Overrides the read timeout (`None` blocks forever).
+    pub fn set_read_timeout(&mut self, t: Option<Duration>) -> io::Result<()> {
+        self.stream.set_read_timeout(t)
+    }
+
+    fn nonce(&mut self) -> u64 {
+        let n = self.next_nonce;
+        self.next_nonce += 1;
+        n
+    }
+
+    /// Sends a request without waiting for its reply (pipelining half).
+    pub fn send(&mut self, req: &Request) -> Result<(), ClientError> {
+        let json = serde_json::to_string(req)
+            .map_err(|e| ClientError::Protocol(format!("unserializable request: {e}")))?;
+        write_frame(&mut self.stream, &json).map_err(ClientError::Io)
+    }
+
+    /// Receives the next reply frame (pipelining half).
+    pub fn recv(&mut self) -> Result<Reply, ClientError> {
+        match read_frame(&mut self.stream) {
+            Ok(Some(json)) => serde_json::from_str(&json)
+                .map_err(|e| ClientError::Protocol(format!("bad reply: {e}"))),
+            Ok(None) => Err(ClientError::Disconnected),
+            Err(e)
+                if e.kind() == io::ErrorKind::UnexpectedEof
+                    || e.kind() == io::ErrorKind::ConnectionReset
+                    || e.kind() == io::ErrorKind::BrokenPipe =>
+            {
+                Err(ClientError::Disconnected)
+            }
+            Err(e) => Err(ClientError::Io(e)),
+        }
+    }
+
+    /// Call/response: send one request, wait for its reply.
+    pub fn call(&mut self, req: &Request) -> Result<Reply, ClientError> {
+        self.send(req)?;
+        let reply = self.recv()?;
+        if reply.nonce != req.nonce {
+            return Err(ClientError::Protocol(format!(
+                "reply nonce {} does not match request nonce {} (pipelined call/response mix?)",
+                reply.nonce, req.nonce
+            )));
+        }
+        Ok(reply)
+    }
+
+    /// Requests admission of (`wcet_us`, `period_us`).
+    pub fn join(&mut self, wcet_us: u64, period_us: u64) -> Result<Reply, ClientError> {
+        let n = self.nonce();
+        self.call(&Request::join(n, wcet_us, period_us))
+    }
+
+    /// Requests departure of `task`.
+    pub fn leave(&mut self, task: u32) -> Result<Reply, ClientError> {
+        let n = self.nonce();
+        self.call(&Request::leave(n, task))
+    }
+
+    /// Requests a reweight of `task` to (`wcet_us`, `period_us`).
+    pub fn reweight(
+        &mut self,
+        task: u32,
+        wcet_us: u64,
+        period_us: u64,
+    ) -> Result<Reply, ClientError> {
+        let n = self.nonce();
+        self.call(&Request::reweight(n, task, wcet_us, period_us))
+    }
+
+    /// Fetches scheduler stats and a metrics snapshot.
+    pub fn stats(&mut self) -> Result<Reply, ClientError> {
+        let n = self.nonce();
+        self.call(&Request::bare(Op::Stats, n))
+    }
+
+    /// Asks the daemon to shut down cleanly.
+    pub fn shutdown(&mut self) -> Result<Reply, ClientError> {
+        let n = self.nonce();
+        self.call(&Request::bare(Op::Shutdown, n))
+    }
+
+    /// Switches this connection to the decision/snapshot stream.
+    pub fn subscribe(mut self) -> Result<Subscription, ClientError> {
+        let n = self.nonce();
+        let reply = self.call(&Request::bare(Op::Subscribe, n))?;
+        if reply.status != Status::Subscribed {
+            return Err(ClientError::Protocol(format!(
+                "subscribe refused: {:?}",
+                reply.status
+            )));
+        }
+        Ok(Subscription {
+            stream: self.stream,
+        })
+    }
+
+    /// A fresh nonce for hand-built pipelined requests.
+    pub fn take_nonce(&mut self) -> u64 {
+        self.nonce()
+    }
+}
+
+/// A connection switched to the stream; yields [`StreamMsg`] frames.
+pub struct Subscription {
+    stream: UnixStream,
+}
+
+impl Subscription {
+    /// Next stream frame. [`ClientError::Disconnected`] when the daemon
+    /// goes away (cleanly or not).
+    // Deliberately `next` despite the Iterator-shaped name: the stream
+    // is infinite-until-error, and `Result` (not `Option`) is the point.
+    #[allow(clippy::should_implement_trait)]
+    pub fn next(&mut self) -> Result<StreamMsg, ClientError> {
+        match read_frame(&mut self.stream) {
+            Ok(Some(json)) => serde_json::from_str(&json)
+                .map_err(|e| ClientError::Protocol(format!("bad stream frame: {e}"))),
+            Ok(None) => Err(ClientError::Disconnected),
+            Err(e)
+                if e.kind() == io::ErrorKind::UnexpectedEof
+                    || e.kind() == io::ErrorKind::ConnectionReset =>
+            {
+                Err(ClientError::Disconnected)
+            }
+            Err(e) => Err(ClientError::Io(e)),
+        }
+    }
+
+    /// Overrides the read timeout for stream frames.
+    pub fn set_read_timeout(&mut self, t: Option<Duration>) -> io::Result<()> {
+        self.stream.set_read_timeout(t)
+    }
+}

@@ -1,0 +1,302 @@
+//! Wire protocol: length-prefixed JSON frames over a Unix-domain socket.
+//!
+//! Every message is a 4-byte little-endian length followed by that many
+//! bytes of JSON. The schema is deliberately narrow — flat structs with
+//! numeric fields and unit-variant enums — both to fit the vendored serde
+//! derive (no attributes, no data-carrying variants) and to keep host
+//! processes out of the scheduling kernel: a client can express *what* it
+//! wants admitted, never *how* the scheduler should run.
+//!
+//! Requests carry physical-time parameters (`wcet_us`, `period_us`); the
+//! daemon owns the overhead model and quantization, and replies with the
+//! inflated weight and window parameters it actually admitted. A client
+//! never sees — and cannot forge — scheduler-internal state.
+
+use serde::{Deserialize, Serialize};
+use std::io::{self, Read, Write};
+
+/// Frames larger than this are rejected as corrupt before any buffer is
+/// grown — a garbage length prefix must not look like an allocation
+/// request.
+pub const MAX_FRAME: u32 = 1 << 20;
+
+/// What the client asks the daemon to do.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Op {
+    /// Admit a new task (`wcet_us` + `period_us` required).
+    Join,
+    /// Remove task `task` under the §5.2 safe-leave rule.
+    Leave,
+    /// Change task `task` to the new `wcet_us`/`period_us` (leave+join).
+    Reweight,
+    /// Report scheduler state and an `obs` metrics snapshot.
+    Stats,
+    /// Switch this connection to the decision/snapshot stream.
+    Subscribe,
+    /// Stop the daemon cleanly (drains pending batch first).
+    Shutdown,
+}
+
+/// One client request. Fields irrelevant to `op` are `None`/ignored.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Request {
+    /// What to do.
+    pub op: Op,
+    /// Client-chosen correlation id, echoed verbatim in the reply. Also
+    /// the deterministic tie-break within a batch, so clients should use
+    /// distinct nonces per in-flight request.
+    pub nonce: u64,
+    /// Target task id (`Leave`/`Reweight`).
+    pub task: Option<u32>,
+    /// Worst-case execution time in µs (`Join`/`Reweight`).
+    pub wcet_us: Option<u64>,
+    /// Period in µs (`Join`/`Reweight`); must be a multiple of the
+    /// daemon's quantum.
+    pub period_us: Option<u64>,
+}
+
+impl Request {
+    /// A join request for (`wcet_us`, `period_us`).
+    pub fn join(nonce: u64, wcet_us: u64, period_us: u64) -> Self {
+        Request {
+            op: Op::Join,
+            nonce,
+            task: None,
+            wcet_us: Some(wcet_us),
+            period_us: Some(period_us),
+        }
+    }
+
+    /// A leave request for `task`.
+    pub fn leave(nonce: u64, task: u32) -> Self {
+        Request {
+            op: Op::Leave,
+            nonce,
+            task: Some(task),
+            wcet_us: None,
+            period_us: None,
+        }
+    }
+
+    /// A reweight request: `task` → (`wcet_us`, `period_us`).
+    pub fn reweight(nonce: u64, task: u32, wcet_us: u64, period_us: u64) -> Self {
+        Request {
+            op: Op::Reweight,
+            nonce,
+            task: Some(task),
+            wcet_us: Some(wcet_us),
+            period_us: Some(period_us),
+        }
+    }
+
+    /// A bare request carrying only an op (Stats/Subscribe/Shutdown).
+    pub fn bare(op: Op, nonce: u64) -> Self {
+        Request {
+            op,
+            nonce,
+            task: None,
+            wcet_us: None,
+            period_us: None,
+        }
+    }
+}
+
+/// Outcome of a request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Status {
+    /// Join/Reweight admitted; `task` is the assigned id.
+    Admitted,
+    /// Join/Reweight rejected by the admission test (Σwt would exceed M).
+    Rejected,
+    /// Leave accepted; `free_at` is the slot the weight reclaims.
+    Left,
+    /// Stats reply; `snapshot` holds the recorder snapshot JSON.
+    Stats,
+    /// Connection switched to the stream; [`StreamMsg`] frames follow.
+    Subscribed,
+    /// Daemon is shutting down.
+    ShuttingDown,
+    /// Malformed or inapplicable request; see `error`.
+    Error,
+}
+
+/// The daemon's reply to one [`Request`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Reply {
+    /// Echo of the request nonce.
+    pub nonce: u64,
+    /// Outcome.
+    pub status: Status,
+    /// Slot at which the decision took effect (= the batch's quantum).
+    pub slot: u64,
+    /// Assigned task id (`Admitted`) or the departing id (`Left`).
+    pub task: Option<u32>,
+    /// Numerator of the admitted (overhead-inflated, quantized) weight.
+    pub weight_num: Option<u64>,
+    /// Denominator of the admitted weight.
+    pub weight_den: Option<u64>,
+    /// Inflated per-job cost in quanta (`E` of Equation (3)).
+    pub quanta: Option<u64>,
+    /// Period in quanta.
+    pub period_quanta: Option<u64>,
+    /// Slot of the admitted task's first pseudo-release (θ = join slot).
+    pub first_release: Option<u64>,
+    /// Leave only: slot at which the departing weight is reclaimed
+    /// (`d(T_i) + b(T_i)` of the safe-leave rule).
+    pub free_at: Option<u64>,
+    /// Stats only: `obs::Snapshot` JSON.
+    pub snapshot: Option<String>,
+    /// Stats only: number of active tasks.
+    pub task_count: Option<u64>,
+    /// Stats only: total admitted weight in parts-per-million of one
+    /// processor (`Σwt × 10⁶`, so `processors × 10⁶` is full capacity).
+    pub weight_ppm: Option<u64>,
+    /// Human-readable reason when `status` is `Rejected`/`Error`.
+    pub error: Option<String>,
+}
+
+impl Reply {
+    /// A minimal reply skeleton; callers fill in the relevant fields.
+    pub fn new(nonce: u64, status: Status, slot: u64) -> Self {
+        Reply {
+            nonce,
+            status,
+            slot,
+            task: None,
+            weight_num: None,
+            weight_den: None,
+            quanta: None,
+            period_quanta: None,
+            first_release: None,
+            free_at: None,
+            snapshot: None,
+            task_count: None,
+            weight_ppm: None,
+            error: None,
+        }
+    }
+}
+
+/// Kind of a streamed frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum StreamKind {
+    /// One scheduling decision: the task ids dispatched in `slot`.
+    Decision,
+    /// A periodic `obs::Recorder` snapshot (JSON in `snapshot`).
+    Snapshot,
+    /// The daemon is shutting down; no further frames follow.
+    Bye,
+}
+
+/// One frame pushed to a subscribed client.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StreamMsg {
+    /// What this frame carries.
+    pub kind: StreamKind,
+    /// Slot the frame describes.
+    pub slot: u64,
+    /// `Decision`: task ids scheduled in this slot, processor order.
+    pub scheduled: Option<Vec<u32>>,
+    /// `Snapshot`: recorder snapshot JSON.
+    pub snapshot: Option<String>,
+}
+
+/// Writes one length-prefixed frame.
+pub fn write_frame<W: Write>(w: &mut W, json: &str) -> io::Result<()> {
+    let bytes = json.as_bytes();
+    if bytes.len() as u64 > MAX_FRAME as u64 {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame of {} bytes exceeds MAX_FRAME", bytes.len()),
+        ));
+    }
+    w.write_all(&(bytes.len() as u32).to_le_bytes())?;
+    w.write_all(bytes)?;
+    w.flush()
+}
+
+/// Reads one frame. `Ok(None)` means the peer closed the connection
+/// cleanly *between* frames; a close mid-frame is an error.
+pub fn read_frame<R: Read>(r: &mut R) -> io::Result<Option<String>> {
+    let mut len = [0u8; 4];
+    match r.read_exact(&mut len) {
+        Ok(()) => {}
+        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e),
+    }
+    let len = u32::from_le_bytes(len);
+    if len > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame length {len} exceeds MAX_FRAME (corrupt stream?)"),
+        ));
+    }
+    let mut buf = vec![0u8; len as usize];
+    r.read_exact(&mut buf)?;
+    String::from_utf8(buf)
+        .map(Some)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_roundtrips_through_json() {
+        for req in [
+            Request::join(7, 1_000, 10_000),
+            Request::leave(8, 3),
+            Request::reweight(9, 3, 2_000, 20_000),
+            Request::bare(Op::Stats, 10),
+            Request::bare(Op::Subscribe, 11),
+            Request::bare(Op::Shutdown, 12),
+        ] {
+            let json = serde_json::to_string(&req).unwrap();
+            let back: Request = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, req);
+        }
+    }
+
+    #[test]
+    fn reply_roundtrips_through_json() {
+        let mut reply = Reply::new(42, Status::Admitted, 17);
+        reply.task = Some(5);
+        reply.weight_num = Some(2);
+        reply.weight_den = Some(10);
+        reply.quanta = Some(2);
+        reply.period_quanta = Some(10);
+        reply.first_release = Some(17);
+        let json = serde_json::to_string(&reply).unwrap();
+        let back: Reply = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, reply);
+    }
+
+    #[test]
+    fn frames_roundtrip_and_eof_between_frames_is_clean() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, "{\"a\":1}").unwrap();
+        write_frame(&mut buf, "xyz").unwrap();
+        let mut r = &buf[..];
+        assert_eq!(read_frame(&mut r).unwrap().as_deref(), Some("{\"a\":1}"));
+        assert_eq!(read_frame(&mut r).unwrap().as_deref(), Some("xyz"));
+        assert_eq!(read_frame(&mut r).unwrap(), None);
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_an_error_not_an_allocation() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&u32::MAX.to_le_bytes());
+        let mut r = &buf[..];
+        assert!(read_frame(&mut r).is_err());
+    }
+
+    #[test]
+    fn truncated_frame_is_an_error() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, "abcdef").unwrap();
+        buf.truncate(buf.len() - 2);
+        let mut r = &buf[..];
+        assert!(read_frame(&mut r).is_err());
+    }
+}

@@ -1,0 +1,325 @@
+//! The daemon's transport: a Unix-domain socket in front of one
+//! [`AdmissionCore`].
+//!
+//! Threading model: one acceptor thread, one reader thread per
+//! connection, one writer thread per connection, and a single *batch
+//! loop* (the caller's thread) owning the admission core. Readers parse
+//! frames and forward work items over an mpsc channel; the batch loop
+//! drains everything that arrived within the current quantum, decides it
+//! as one batch, and routes replies back through per-connection channels.
+//! No lock is ever taken around scheduler state — the core is
+//! single-owner by construction, mirroring the narrow-kernel split the
+//! protocol is designed around.
+//!
+//! Client disconnects are tolerated at every point: a reply or stream
+//! frame that cannot be delivered is dropped (the decision it reported
+//! stands — an admitted task whose client vanished stays admitted until
+//! somebody leaves it), and a reader error just ends that connection.
+
+use crate::core::{AdmissionCore, CoreConfig};
+use crate::proto::{read_frame, write_frame, Op, Reply, Request, Status, StreamKind, StreamMsg};
+use std::io;
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
+use std::time::Duration;
+
+/// How the daemon advances quantum edges.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Pace {
+    /// A quantum edge fires whenever at least one request is pending:
+    /// the batch is whatever arrived while the previous batch was being
+    /// decided. Idle slots are not simulated. This is the soak/test mode
+    /// — simulated time decouples from wall time entirely.
+    Virtual,
+    /// Quantum edges fire every `quantum_us` of wall time whether or not
+    /// requests arrived, so the simulation tracks wall time and
+    /// subscribers see idle slots too.
+    RealTime,
+}
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Socket path; removed and re-bound at startup, removed at exit.
+    pub socket: PathBuf,
+    /// Admission core parameters.
+    pub core: CoreConfig,
+    /// Quantum pacing.
+    pub pace: Pace,
+    /// Stream an `obs` snapshot to subscribers every this many slots
+    /// (0 = never).
+    pub snapshot_every: u64,
+}
+
+impl ServerConfig {
+    /// Virtual pacing, `M` processors, snapshots every 256 slots.
+    pub fn new(socket: PathBuf, processors: u32) -> Self {
+        ServerConfig {
+            socket,
+            core: CoreConfig::new(processors),
+            pace: Pace::Virtual,
+            snapshot_every: 256,
+        }
+    }
+}
+
+/// What the daemon did over its lifetime, returned when it shuts down.
+pub struct RunReport {
+    /// Slots simulated.
+    pub slots: u64,
+    /// (admitted, rejected, left, reweighted) totals.
+    pub counts: (u64, u64, u64, u64),
+    /// Final recorder snapshot.
+    pub snapshot: obs::Snapshot,
+    /// Full schedule trace (when `record_trace` was on).
+    pub trace: Option<sched_sim::ScheduleTrace>,
+}
+
+/// One parsed request plus the channel its reply goes back on.
+struct WorkItem {
+    req: Request,
+    reply_tx: Sender<String>,
+}
+
+/// Runs the daemon until a client sends `Shutdown`. Binds the socket,
+/// then serves; returns the run report after a clean shutdown.
+pub fn run(cfg: ServerConfig) -> io::Result<RunReport> {
+    let _ = std::fs::remove_file(&cfg.socket);
+    let listener = UnixListener::bind(&cfg.socket)?;
+    let report = serve(&cfg, listener);
+    let _ = std::fs::remove_file(&cfg.socket);
+    report
+}
+
+fn serve(cfg: &ServerConfig, listener: UnixListener) -> io::Result<RunReport> {
+    let rec = obs::Recorder::enabled();
+    let mut core = AdmissionCore::new(cfg.core.clone());
+    core.set_recorder(&rec);
+    let batches = rec.counter("daemon.batches");
+    let batched_requests = rec.counter("daemon.requests");
+    let refused_full = rec.counter("daemon.batch_full_refusals");
+    let batch_size = rec.log2_histogram("daemon.batch_size");
+    let decide_ns = rec.timer("daemon.decide_ns");
+
+    let (work_tx, work_rx) = channel::<WorkItem>();
+    let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let acceptor = {
+        let work_tx = work_tx.clone();
+        let listener = listener.try_clone()?;
+        let stop = std::sync::Arc::clone(&stop);
+        // Non-blocking accept poll so shutdown never races a blocked
+        // accept(2): the loop re-checks the stop flag every few ms.
+        std::thread::spawn(move || {
+            let _ = listener.set_nonblocking(true);
+            while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        let _ = stream.set_nonblocking(false);
+                        spawn_connection(stream, work_tx.clone());
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(2));
+                    }
+                    Err(_) => break,
+                }
+            }
+        })
+    };
+    drop(work_tx);
+
+    let quantum = Duration::from_micros(cfg.core.params.quantum_us.max(1));
+    let mut subscribers: Vec<Sender<String>> = Vec::new();
+    let mut replies: Vec<Reply> = Vec::new();
+    let mut reply_routes: Vec<(u64, Sender<String>)> = Vec::new();
+    let mut shutdown_acks: Vec<(u64, Sender<String>)> = Vec::new();
+    let mut shutting_down = false;
+
+    while !shutting_down {
+        // Gather one quantum's batch. Virtual pace blocks for the first
+        // item; real-time pace waits out the quantum and takes whatever
+        // arrived (possibly nothing).
+        let first = match cfg.pace {
+            Pace::Virtual => match work_rx.recv() {
+                Ok(item) => Some(item),
+                Err(_) => break, // acceptor gone and all connections closed
+            },
+            Pace::RealTime => match work_rx.recv_timeout(quantum) {
+                Ok(item) => Some(item),
+                Err(RecvTimeoutError::Timeout) => None,
+                Err(RecvTimeoutError::Disconnected) => break,
+            },
+        };
+        reply_routes.clear();
+        let mut intake =
+            |item: WorkItem, core: &mut AdmissionCore, subscribers: &mut Vec<Sender<String>>| {
+                match item.req.op {
+                    Op::Join | Op::Leave | Op::Reweight => {
+                        let nonce = item.req.nonce;
+                        if core.push_request(item.req) {
+                            reply_routes.push((nonce, item.reply_tx));
+                        } else {
+                            refused_full.add(1);
+                            let mut r = Reply::new(nonce, Status::Error, core.slot());
+                            r.error = Some("batch full; retry next quantum".to_string());
+                            send_reply(&item.reply_tx, &r);
+                        }
+                    }
+                    Op::Stats => {
+                        let mut r = Reply::new(item.req.nonce, Status::Stats, core.slot());
+                        r.task_count = Some(core.task_count() as u64);
+                        r.weight_ppm = Some(core.weight_ppm());
+                        r.snapshot = Some(rec.snapshot().to_json());
+                        send_reply(&item.reply_tx, &r);
+                    }
+                    Op::Subscribe => {
+                        let r = Reply::new(item.req.nonce, Status::Subscribed, core.slot());
+                        send_reply(&item.reply_tx, &r);
+                        subscribers.push(item.reply_tx);
+                    }
+                    Op::Shutdown => {
+                        shutdown_acks.push((item.req.nonce, item.reply_tx));
+                        shutting_down = true;
+                    }
+                }
+            };
+        if let Some(item) = first {
+            intake(item, &mut core, &mut subscribers);
+        }
+        while let Ok(item) = work_rx.try_recv() {
+            intake(item, &mut core, &mut subscribers);
+        }
+
+        if core.pending_len() == 0 && cfg.pace == Pace::Virtual && !shutting_down {
+            continue; // stats/subscribe only — no quantum edge needed
+        }
+
+        // Decide the batch and advance one quantum.
+        batches.add(1);
+        batched_requests.add(core.pending_len() as u64);
+        batch_size.record(core.pending_len() as u64);
+        replies.clear();
+        let span = decide_ns.start();
+        let decided_at = core.decide_batch(&mut replies);
+        drop(span);
+
+        // Replies come back in canonical order; route each to its
+        // connection by nonce (nonces in one batch are distinct unless a
+        // client reuses them — then any of its own replies may match,
+        // which is the client's own ambiguity to avoid).
+        for reply in &replies {
+            if let Some(pos) = reply_routes.iter().position(|(n, _)| *n == reply.nonce) {
+                let (_, tx) = reply_routes.swap_remove(pos);
+                send_reply(&tx, reply);
+            }
+        }
+
+        // Stream the quantum's decision (and periodic snapshots).
+        if !subscribers.is_empty() {
+            let msg = StreamMsg {
+                kind: StreamKind::Decision,
+                slot: decided_at,
+                scheduled: Some(core.last_chosen().iter().map(|id| id.0).collect()),
+                snapshot: None,
+            };
+            broadcast(&mut subscribers, &msg);
+            if cfg.snapshot_every > 0 && decided_at % cfg.snapshot_every == 0 {
+                let msg = StreamMsg {
+                    kind: StreamKind::Snapshot,
+                    slot: decided_at,
+                    scheduled: None,
+                    snapshot: Some(rec.snapshot().to_json()),
+                };
+                broadcast(&mut subscribers, &msg);
+            }
+        }
+    }
+
+    // Clean shutdown: acknowledge, say goodbye to subscribers, unblock
+    // the acceptor by removing the socket and poking one last connect.
+    let final_slot = core.slot();
+    for (nonce, tx) in shutdown_acks.drain(..) {
+        send_reply(&tx, &Reply::new(nonce, Status::ShuttingDown, final_slot));
+    }
+    let bye = StreamMsg {
+        kind: StreamKind::Bye,
+        slot: final_slot,
+        scheduled: None,
+        snapshot: None,
+    };
+    broadcast(&mut subscribers, &bye);
+    subscribers.clear();
+    stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    let _ = acceptor.join();
+    let _ = std::fs::remove_file(&cfg.socket);
+    drop(listener);
+
+    Ok(RunReport {
+        slots: core.slot(),
+        counts: core.counts(),
+        snapshot: rec.snapshot(),
+        trace: core.trace(),
+    })
+}
+
+/// Serializes and sends one reply; delivery failure means the client is
+/// gone, which is not the daemon's problem.
+fn send_reply(tx: &Sender<String>, reply: &Reply) {
+    if let Ok(json) = serde_json::to_string(reply) {
+        let _ = tx.send(json);
+    }
+}
+
+/// Broadcasts a stream frame, dropping subscribers whose connection died.
+fn broadcast(subscribers: &mut Vec<Sender<String>>, msg: &StreamMsg) {
+    let Ok(json) = serde_json::to_string(msg) else {
+        return;
+    };
+    subscribers.retain(|tx| tx.send(json.clone()).is_ok());
+}
+
+/// Spawns the reader + writer threads for one accepted connection.
+fn spawn_connection(stream: UnixStream, work_tx: Sender<WorkItem>) {
+    let Ok(write_half) = stream.try_clone() else {
+        return;
+    };
+    let (reply_tx, reply_rx) = channel::<String>();
+    std::thread::spawn(move || writer_loop(write_half, reply_rx));
+    std::thread::spawn(move || reader_loop(stream, work_tx, reply_tx));
+}
+
+/// Forwards reply/stream frames to the socket until the channel closes
+/// (all senders dropped) or the peer disappears.
+fn writer_loop(mut stream: UnixStream, reply_rx: Receiver<String>) {
+    for json in reply_rx {
+        if write_frame(&mut stream, &json).is_err() {
+            break;
+        }
+    }
+    let _ = stream.shutdown(std::net::Shutdown::Both);
+}
+
+/// Parses request frames and forwards them to the batch loop. A parse
+/// error is answered (best-effort) and closes the connection; EOF just
+/// ends it.
+fn reader_loop(mut stream: UnixStream, work_tx: Sender<WorkItem>, reply_tx: Sender<String>) {
+    // EOF and read errors both just end the connection.
+    while let Ok(Some(frame)) = read_frame(&mut stream) {
+        let req: Request = match serde_json::from_str(&frame) {
+            Ok(r) => r,
+            Err(e) => {
+                let mut r = Reply::new(0, Status::Error, 0);
+                r.error = Some(format!("unparsable request: {e}"));
+                send_reply(&reply_tx, &r);
+                break;
+            }
+        };
+        let item = WorkItem {
+            req,
+            reply_tx: reply_tx.clone(),
+        };
+        if work_tx.send(item).is_err() {
+            break; // batch loop has shut down
+        }
+    }
+}

@@ -13,7 +13,7 @@
 //!
 //! ```text
 //! ck.json               {"v":3,"binary":"fig3","config":"tasks=50 …"}
-//! ck.json.d/LOCK        advisory coordinator lock (pid)
+//! ck.json.d/LOCK        advisory coordinator lock (pid + starttime)
 //! ck.json.d/shard-0000.jsonl
 //! ck.json.d/shard-0001.jsonl
 //! ```
@@ -45,9 +45,11 @@
 //! whole set into a single fresh shard and deletes the old ones.
 //!
 //! Two coordinators pointed at the same checkpoint directory would
-//! interleave shard ids; the advisory `LOCK` file (pid inside) makes the
-//! second one fail fast with a clear error instead. A lock whose pid is
-//! dead is stale and is replaced with a warning.
+//! interleave shard ids; the advisory `LOCK` file (pid + process start
+//! time inside) makes the second one fail fast with a clear error
+//! instead. A lock whose pid is dead — or whose pid was recycled by an
+//! unrelated process, detected by a start-time mismatch — is stale and
+//! is replaced with a warning.
 //!
 //! Durability: appends fsync the shard; whole-file rewrites (healing,
 //! compaction, migration) write a temp file, fsync it, rename it over the
@@ -569,12 +571,23 @@ fn v3_header_line(
     Ok(text)
 }
 
-/// Advisory coordinator lock: `<dir>/LOCK` containing the holder's pid.
+/// Advisory coordinator lock: `<dir>/LOCK` containing
+/// `<pid> <starttime>` of the holder.
 ///
 /// Two coordinators pointed at the same checkpoint directory must fail
 /// fast, not silently interleave shard ids. The lock is advisory and
-/// crash-tolerant: a holder that died (checked via `/proc/<pid>`) leaves
-/// a stale file which the next acquirer replaces with a warning.
+/// crash-tolerant: a holder that died leaves a stale file which the
+/// next acquirer replaces with a warning.
+///
+/// Liveness cannot be judged by `/proc/<pid>` existence alone: pids are
+/// recycled, so a lock left by a crashed coordinator can point at an
+/// unrelated process that happens to wear the same pid — and the next
+/// sweep would refuse to start forever. The LOCK therefore also records
+/// the holder's *start time* (field 22 of `/proc/<pid>/stat`, in clock
+/// ticks since boot), which a recycled pid cannot reproduce. The holder
+/// is live only if the pid exists **and** its start time matches. A
+/// legacy pid-only LOCK (written by older builds) falls back to the
+/// pid-existence check.
 #[derive(Debug)]
 pub struct DirLock {
     path: PathBuf,
@@ -586,6 +599,7 @@ impl DirLock {
     pub fn acquire(dir: &Path) -> Result<DirLock, CheckpointError> {
         std::fs::create_dir_all(dir).map_err(|e| CheckpointError::Io(format!("{dir:?}: {e}")))?;
         let path = dir.join("LOCK");
+        let my_pid = std::process::id();
         for _ in 0..2 {
             match std::fs::OpenOptions::new()
                 .write(true)
@@ -593,16 +607,20 @@ impl DirLock {
                 .open(&path)
             {
                 Ok(mut file) => {
-                    let _ = file.write_all(std::process::id().to_string().as_bytes());
+                    let token = match proc_starttime(my_pid) {
+                        Some(start) => format!("{my_pid} {start}"),
+                        None => my_pid.to_string(), // no procfs: legacy form
+                    };
+                    let _ = file.write_all(token.as_bytes());
                     let _ = file.sync_all();
                     return Ok(DirLock { path });
                 }
                 Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => {
                     let holder = std::fs::read_to_string(&path)
                         .ok()
-                        .and_then(|s| s.trim().parse::<u32>().ok());
+                        .and_then(|s| parse_lock_holder(&s));
                     match holder {
-                        Some(pid) if pid != std::process::id() && pid_alive(pid) => {
+                        Some((pid, start)) if pid != my_pid && lock_holder_alive(pid, start) => {
                             return Err(CheckpointError::Io(format!(
                                 "{path:?}: another coordinator (pid {pid}) holds this \
                                  checkpoint; two sweeps must not share one checkpoint \
@@ -610,11 +628,12 @@ impl DirLock {
                             )));
                         }
                         _ => {
-                            // Dead holder (or unreadable residue): stale.
+                            // Dead holder, recycled pid, or unreadable
+                            // residue: stale.
                             eprintln!(
                                 "warning: removing stale coordinator lock {path:?} \
                                  (pid {})",
-                                holder.map_or("?".to_string(), |p| p.to_string())
+                                holder.map_or("?".to_string(), |(p, _)| p.to_string())
                             );
                             let _ = std::fs::remove_file(&path);
                         }
@@ -629,11 +648,43 @@ impl DirLock {
     }
 }
 
+/// Parses a LOCK body: `<pid> <starttime>` (current) or `<pid>` (legacy,
+/// start time `None`).
+fn parse_lock_holder(body: &str) -> Option<(u32, Option<u64>)> {
+    let mut tokens = body.split_whitespace();
+    let pid = tokens.next()?.parse::<u32>().ok()?;
+    match tokens.next() {
+        Some(tok) => Some((pid, Some(tok.parse::<u64>().ok()?))),
+        None => Some((pid, None)),
+    }
+}
+
+/// Whether the recorded LOCK holder is still the process it named: the
+/// pid must be live and, when the LOCK recorded a start time, the live
+/// process's start time must match it — a recycled pid fails that test
+/// and the lock correctly reads as stale.
+fn lock_holder_alive(pid: u32, recorded_start: Option<u64>) -> bool {
+    match recorded_start {
+        Some(start) => proc_starttime(pid) == Some(start),
+        None => pid_alive(pid), // legacy pid-only LOCK
+    }
+}
+
 /// Whether `pid` is a live process (via `/proc`; on systems without
 /// procfs every lock reads as stale — acceptable for an advisory lock on
 /// the Linux targets this repo runs on).
 fn pid_alive(pid: u32) -> bool {
     Path::new(&format!("/proc/{pid}")).exists()
+}
+
+/// The process's start time in clock ticks since boot: field 22 of
+/// `/proc/<pid>/stat`. The comm field (2) can contain spaces and
+/// parentheses, so fields are counted from *after the last `)`*, where
+/// field 3 (state) begins — starttime is then the 20th whitespace token.
+fn proc_starttime(pid: u32) -> Option<u64> {
+    let stat = std::fs::read_to_string(format!("/proc/{pid}/stat")).ok()?;
+    let rest = &stat[stat.rfind(')')? + 1..];
+    rest.split_whitespace().nth(19)?.parse().ok()
 }
 
 impl Drop for DirLock {
@@ -1732,6 +1783,71 @@ mod tests {
         let _ro = ShardSet::open(path.clone(), "figX", "n=5", OpenMode::ReadOnly).unwrap();
         assert!(!lock_file.exists());
         cleanup_v3(&path);
+    }
+
+    /// Regression: a LOCK whose pid was recycled by an unrelated process
+    /// must read as stale. `/proc/<pid>` existing is not enough — the
+    /// recorded start time (field 22 of `/proc/<pid>/stat`) must match
+    /// too. Pid 1 stands in for the recycled pid: it is certainly alive,
+    /// and certainly did not start at the fabricated tick we record.
+    #[test]
+    fn dir_lock_detects_recycled_pids_via_starttime() {
+        let path = temp_v3("v3-lock-recycle");
+        let dir = shard_dir(&path);
+        std::fs::create_dir_all(&dir).unwrap();
+        let lock_file = dir.join("LOCK");
+
+        // Live pid, *wrong* start time: the original holder is gone and
+        // its pid was recycled — stale, reap and acquire.
+        let wrong = proc_starttime(1).unwrap_or(0) + 1;
+        std::fs::write(&lock_file, format!("1 {wrong}")).unwrap();
+        let set = ShardSet::open(path.clone(), "figX", "n=5", OpenMode::Exclusive).unwrap();
+        drop(set);
+        assert!(!lock_file.exists());
+
+        // Live pid, *correct* start time: genuinely held — refuse.
+        let real = proc_starttime(1).expect("/proc/1/stat must parse");
+        std::fs::write(&lock_file, format!("1 {real}")).unwrap();
+        let err = ShardSet::open(path.clone(), "figX", "n=5", OpenMode::Exclusive).unwrap_err();
+        assert!(err.to_string().contains("another coordinator"), "{err}");
+        std::fs::remove_file(&lock_file).unwrap();
+
+        // A fresh acquire records this process's own pid + start time.
+        let set = ShardSet::open(path.clone(), "figX", "n=5", OpenMode::Exclusive).unwrap();
+        let body = std::fs::read_to_string(&lock_file).unwrap();
+        let (pid, start) = parse_lock_holder(&body).expect("well-formed LOCK");
+        assert_eq!(pid, std::process::id());
+        assert_eq!(start, proc_starttime(std::process::id()));
+        assert!(start.is_some(), "procfs present here: starttime recorded");
+        drop(set);
+        cleanup_v3(&path);
+    }
+
+    #[test]
+    fn lock_holder_parsing_and_starttime() {
+        assert_eq!(parse_lock_holder("123"), Some((123, None)));
+        assert_eq!(parse_lock_holder("123 456\n"), Some((123, Some(456))));
+        assert_eq!(parse_lock_holder("nonsense"), None);
+        assert_eq!(parse_lock_holder("12 x"), None);
+        assert_eq!(parse_lock_holder(""), None);
+        // Our own start time is readable and stable across two reads.
+        let me = std::process::id();
+        let s1 = proc_starttime(me).expect("own starttime");
+        let s2 = proc_starttime(me).expect("own starttime");
+        assert_eq!(s1, s2);
+        // The comm field may contain spaces/parens; counting from the
+        // last ')' keeps the offset right. Simulated stat line:
+        let fake = std::env::temp_dir().join(format!("pfair-stat-{me}"));
+        // (field 22 here is 999.)
+        std::fs::write(
+            &fake,
+            "7 (a (we)ird) name) S 1 1 1 0 -1 4194560 1 2 3 4 5 6 7 8 20 0 1 0 999 1000 1 2\n",
+        )
+        .unwrap();
+        let body = std::fs::read_to_string(&fake).unwrap();
+        let rest = &body[body.rfind(')').unwrap() + 1..];
+        assert_eq!(rest.split_whitespace().nth(19), Some("999"));
+        std::fs::remove_file(&fake).ok();
     }
 
     #[test]

@@ -159,6 +159,62 @@ struct ActiveWorker {
     spawned: Instant,
 }
 
+/// Judges lease freshness on the coordinator's own monotonic clock.
+///
+/// Workers stamp each lease with a wall-clock `deadline_ms`, and the
+/// supervisor used to compare that stamp against its *own* wall clock
+/// (`now_ms() > deadline_ms`). Wall clocks step: one backwards NTP
+/// correction on the worker side (or a forward step on the
+/// coordinator's) pushed every healthy deadline into the past and the
+/// supervisor killed the entire pool at once. The monitor instead
+/// treats `deadline_ms` as an opaque renewal *token*: each time the
+/// token it reads from a shard changes, a renewal was observed, timed
+/// with the coordinator's [`Instant`] clock. A lease expires only when
+/// the token has sat unchanged for more than two lease windows — the
+/// worker renews every `lease_ms / 3`, so a healthy worker changes the
+/// token ~6 times per window regardless of what either wall clock does.
+/// (Renewals are ≥10 ms apart and `now_ms() + lease_ms` is strictly
+/// increasing between them even across a backwards step smaller than
+/// the renewal interval; equal consecutive tokens therefore mean the
+/// worker genuinely stopped writing.)
+struct LeaseMonitor {
+    lease_ms: u64,
+    /// Shard id → (last token observed, coordinator time it changed).
+    seen: std::collections::HashMap<u64, (u64, Instant)>,
+}
+
+impl LeaseMonitor {
+    fn new(lease_ms: u64) -> Self {
+        Self {
+            lease_ms,
+            seen: std::collections::HashMap::new(),
+        }
+    }
+
+    /// Records one observation of `token` for `shard` at coordinator
+    /// time `now` and reports whether the lease must be considered
+    /// expired. The first observation of a token (including the first
+    /// ever for the shard) counts as a renewal.
+    fn expired(&mut self, shard: u64, token: u64, now: Instant) -> bool {
+        if let Some((last, at)) = self.seen.get_mut(&shard) {
+            if *last == token {
+                return now.saturating_duration_since(*at).as_millis() as u64 > 2 * self.lease_ms;
+            }
+            *last = token;
+            *at = now;
+            return false;
+        }
+        self.seen.insert(shard, (token, now));
+        false
+    }
+
+    /// Drops a shard's state once its worker is reaped; shard ids are
+    /// never reused within a run, so this only bounds the map.
+    fn forget(&mut self, shard: u64) {
+        self.seen.remove(&shard);
+    }
+}
+
 /// The worker-side sink: appends batches to this process's own shard.
 /// Shared with the heartbeat thread through a mutex (appends and lease
 /// renewals interleave at record granularity, never mid-line).
@@ -174,14 +230,14 @@ impl CheckpointSink for WorkerSink {
     fn append_batch(&mut self, batch: &[CheckpointPoint]) -> Result<(), CheckpointError> {
         self.writer
             .lock()
-            .expect("shard writer mutex poisoned")
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
             .append_points(batch)
     }
 
     fn bytes_written(&self) -> u64 {
         self.writer
             .lock()
-            .expect("shard writer mutex poisoned")
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
             .bytes_written()
     }
 }
@@ -228,7 +284,7 @@ where
     };
     if let Err(e) = writer
         .lock()
-        .expect("shard writer mutex poisoned")
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
         .append_lease(&lease(d.lease_ms))
     {
         fatal(&d.binary, &e);
@@ -251,7 +307,9 @@ where
                 // A failed renewal is not fatal to the computation —
                 // worst case the supervisor reclaims a live range and
                 // the duplicate rows merge identically.
-                let mut w = writer.lock().expect("shard writer mutex poisoned");
+                let mut w = writer
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
                 let _ = w.append_lease(&lease(lease_ms));
             }
         })
@@ -403,6 +461,7 @@ pub(crate) fn run_coordinator(
             .max(1);
         let mut queue = make_jobs(&pending, chunk);
         let mut active: Vec<ActiveWorker> = Vec::new();
+        let mut leases = LeaseMonitor::new(d.lease_ms);
         let exe = match std::env::current_exe() {
             Ok(p) => p,
             Err(e) => fatal(&d.binary, &e),
@@ -510,7 +569,9 @@ pub(crate) fn run_coordinator(
             let mut still_active = Vec::with_capacity(active.len());
             for mut worker in active {
                 match worker.child.try_wait() {
-                    Ok(Some(status)) if status.success() => {} // range done
+                    Ok(Some(status)) if status.success() => {
+                        leases.forget(worker.shard); // range done
+                    }
                     Ok(Some(status)) => {
                         eprintln!(
                             "{}: worker pid={} (points {}..{}) exited with {status}; \
@@ -520,6 +581,7 @@ pub(crate) fn run_coordinator(
                             worker.job.start,
                             worker.job.start + worker.job.len
                         );
+                        leases.forget(worker.shard);
                         requeue(
                             worker.job,
                             d.worker_retries,
@@ -533,11 +595,14 @@ pub(crate) fn run_coordinator(
                         // Still running: is its lease current? A worker
                         // that has not yet written its first lease gets
                         // an implicit grace of two lease windows from
-                        // spawn.
+                        // spawn. Freshness is judged by the monitor on
+                        // the coordinator's monotonic clock — never by
+                        // comparing the lease's wall-clock stamp, which
+                        // an NTP step can invalidate wholesale.
                         let (_, lease) =
                             scan_shard(&shard_file(set.dir(), worker.shard), &d.binary, &d.config);
                         let expired = match lease {
-                            Some(l) => now_ms() > l.deadline_ms,
+                            Some(l) => leases.expired(worker.shard, l.deadline_ms, Instant::now()),
                             None => worker.spawned.elapsed().as_millis() as u64 > 2 * d.lease_ms,
                         };
                         if expired {
@@ -551,6 +616,7 @@ pub(crate) fn run_coordinator(
                             );
                             let _ = worker.child.kill();
                             let _ = worker.child.wait();
+                            leases.forget(worker.shard);
                             leases_reclaimed += 1;
                             requeue(
                                 worker.job,
@@ -815,5 +881,115 @@ mod tests {
         requeue(job(3), 2, &mut queue, &mut abandoned, &mut restarts, "t");
         assert_eq!(abandoned.len(), 1);
         assert_eq!(restarts, 2, "an abandoned range is not a restart");
+    }
+
+    /// Regression (injected clock): a backwards wall-clock step must not
+    /// expire a healthy worker's lease. The worker keeps renewing, but
+    /// every renewal stamps a *smaller* `deadline_ms` than the one
+    /// before — exactly what the old `now_ms() > deadline_ms` judgment
+    /// killed the whole pool over. The monitor only watches the token
+    /// *change*, timed on the coordinator's monotonic clock, so the
+    /// lease stays fresh.
+    #[test]
+    fn backwards_wall_clock_step_does_not_expire_renewing_lease() {
+        let lease_ms = 100;
+        let mut mon = LeaseMonitor::new(lease_ms);
+        let epoch = Instant::now();
+        // Renewals arrive every lease_ms/3 on the coordinator's clock;
+        // the wall-clock stamps walk *backwards* through an hour-sized
+        // NTP step.
+        for i in 0u64..60 {
+            let coord_now = epoch + Duration::from_millis(i * (lease_ms / 3));
+            let wall_token = 3_600_000 - i * 50_000;
+            assert!(
+                !mon.expired(7, wall_token, coord_now),
+                "renewal {i} judged expired despite changing token"
+            );
+        }
+    }
+
+    /// A genuinely stopped worker (frozen token) still expires — after
+    /// two lease windows of stagnation on the coordinator's clock.
+    #[test]
+    fn frozen_lease_token_expires_after_two_windows() {
+        let lease_ms = 100;
+        let mut mon = LeaseMonitor::new(lease_ms);
+        let epoch = Instant::now();
+        let token = 123_456;
+        assert!(
+            !mon.expired(3, token, epoch),
+            "first observation is a renewal"
+        );
+        assert!(
+            !mon.expired(3, token, epoch + Duration::from_millis(2 * lease_ms)),
+            "within the stagnation window"
+        );
+        assert!(
+            mon.expired(3, token, epoch + Duration::from_millis(2 * lease_ms + 1)),
+            "unchanged token past two windows must expire"
+        );
+        // A fresh token afterwards (worker resumed) resets the clock.
+        assert!(!mon.expired(3, token + 1, epoch + Duration::from_millis(300)));
+        assert!(!mon.expired(
+            3,
+            token + 1,
+            epoch + Duration::from_millis(300 + 2 * lease_ms)
+        ));
+    }
+
+    /// Shards are judged independently; `forget` drops state so a
+    /// reaped shard's history cannot leak into later judgments.
+    #[test]
+    fn lease_monitor_tracks_shards_independently() {
+        let lease_ms = 100;
+        let mut mon = LeaseMonitor::new(lease_ms);
+        let epoch = Instant::now();
+        assert!(!mon.expired(1, 10, epoch));
+        assert!(!mon.expired(2, 10, epoch + Duration::from_millis(150)));
+        // Shard 1 frozen past the window; shard 2 still inside it.
+        let later = epoch + Duration::from_millis(2 * lease_ms + 10);
+        assert!(mon.expired(1, 10, later));
+        assert!(!mon.expired(2, 10, later));
+        mon.forget(1);
+        assert!(
+            !mon.expired(1, 10, later + Duration::from_millis(1)),
+            "after forget, the same token counts as a fresh first observation"
+        );
+    }
+
+    /// Regression: a worker thread panicking while holding the shard
+    /// writer mutex must not poison the sink for everyone else — the
+    /// heartbeat and subsequent appends recover the guard and keep
+    /// writing (a panicking *append* already aborted the worker's range;
+    /// the lock itself is not the thing that failed).
+    #[test]
+    fn poisoned_shard_writer_mutex_recovers() {
+        let dir = std::env::temp_dir().join(format!("pfair-poison-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        let writer = ShardWriter::create(&dir, 99, "t", "cfg").unwrap();
+        let writer = Arc::new(Mutex::new(writer));
+
+        // Poison the mutex: panic while holding the guard.
+        let poisoner = Arc::clone(&writer);
+        let _ = std::thread::spawn(move || {
+            let _guard = poisoner.lock().unwrap();
+            panic!("deliberate poison");
+        })
+        .join();
+        assert!(writer.is_poisoned(), "setup: mutex must be poisoned");
+
+        // Both sink paths must still work.
+        let mut sink = WorkerSink {
+            writer: Arc::clone(&writer),
+        };
+        sink.append_batch(&[CheckpointPoint {
+            key: "k".to_string(),
+            row: vec!["1".to_string()],
+        }])
+        .expect("append through a poisoned mutex must recover");
+        assert!(sink.bytes_written() > 0);
+
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

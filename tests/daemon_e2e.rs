@@ -1,0 +1,205 @@
+//! End-to-end tests against a real `admitd` process over its socket.
+//!
+//! Covers the tentpole acceptance path: a live daemon absorbing a
+//! thousand joins and leaves whose every decision is window-verified
+//! offline from the trace it dumps at shutdown, plus the chaos variant —
+//! SIGKILL mid-stream must surface as a clean client error, not a hang.
+
+use daemon::client::{ClientError, DaemonClient};
+use daemon::proto::{Reply, Request, Status};
+use sched_sim::ScheduleTrace;
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+/// Unique scratch paths per test (sockets have a ~100-byte path limit,
+/// so stay in /tmp rather than target/).
+fn scratch(tag: &str) -> (PathBuf, PathBuf) {
+    let dir = std::env::temp_dir();
+    let pid = std::process::id();
+    (
+        dir.join(format!("admitd-{tag}-{pid}.sock")),
+        dir.join(format!("admitd-{tag}-{pid}.trace.json")),
+    )
+}
+
+fn spawn_admitd(socket: &PathBuf, extra: &[&str]) -> Child {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_admitd"));
+    cmd.arg("--socket")
+        .arg(socket)
+        .args(["--cpus", "8", "--no-overhead"])
+        .args(extra)
+        .stdout(Stdio::null())
+        .stderr(Stdio::null());
+    cmd.spawn().expect("spawn admitd")
+}
+
+fn connect(socket: &PathBuf) -> DaemonClient {
+    DaemonClient::connect_retry(socket, Duration::from_secs(10)).expect("daemon did not come up")
+}
+
+/// 1000 tasks join, then every admitted one leaves, through a pipelined
+/// socket connection; the daemon's shutdown trace must window-verify.
+#[test]
+fn thousand_joins_and_leaves_window_verify() {
+    let (socket, trace_out) = scratch("e2e");
+    std::fs::remove_file(&socket).ok();
+    let mut child = spawn_admitd(&socket, &["--trace-out", trace_out.to_str().unwrap()]);
+    let mut client = connect(&socket);
+
+    // 1000 joins of one quantum per 1000 (weight 1/1000 after
+    // quantization): Σwt = 1 on 8 cpus, so all admit. Pipeline in
+    // windows of 64 to exercise batching.
+    let mut inflight = 0usize;
+    let mut admitted: Vec<u32> = Vec::new();
+    let drain = |client: &mut DaemonClient,
+                 inflight: &mut usize,
+                 admitted: &mut Vec<u32>,
+                 down_to: usize| {
+        while *inflight > down_to {
+            let reply: Reply = client.recv().expect("reply");
+            *inflight -= 1;
+            match reply.status {
+                Status::Admitted => admitted.push(reply.task.expect("admitted id")),
+                Status::Left => {}
+                other => panic!("unexpected status {other:?}: {:?}", reply.error),
+            }
+        }
+    };
+    for _ in 0..1000 {
+        drain(&mut client, &mut inflight, &mut admitted, 63);
+        let nonce = client.take_nonce();
+        client
+            .send(&Request::join(nonce, 1_000, 1_000_000))
+            .expect("send join");
+        inflight += 1;
+    }
+    drain(&mut client, &mut inflight, &mut admitted, 0);
+    assert_eq!(admitted.len(), 1000, "all thousand joins fit on 8 cpus");
+
+    for &id in &admitted {
+        drain(&mut client, &mut inflight, &mut Vec::new(), 63);
+        let nonce = client.take_nonce();
+        client.send(&Request::leave(nonce, id)).expect("send leave");
+        inflight += 1;
+    }
+    let mut none = Vec::new();
+    drain(&mut client, &mut inflight, &mut none, 0);
+    assert!(none.is_empty(), "leaves must not report admissions");
+
+    let stats = client.stats().expect("stats");
+    assert_eq!(stats.task_count, Some(0), "everyone left");
+
+    let bye = client.shutdown().expect("shutdown ack");
+    assert!(matches!(bye.status, Status::ShuttingDown));
+    let status = child.wait().expect("daemon exit");
+    assert!(status.success(), "clean daemon exit, got {status}");
+
+    // Offline verification: every slot the daemon scheduled, re-checked
+    // against PD² windows with the join/leave event stream.
+    let json = std::fs::read_to_string(&trace_out).expect("trace dumped");
+    let trace = ScheduleTrace::from_json(&json).expect("trace parses");
+    trace.verify().expect("daemon schedule window-verifies");
+
+    std::fs::remove_file(&socket).ok();
+    std::fs::remove_file(&trace_out).ok();
+}
+
+/// Every protocol path over a real socket: admit with the computed
+/// weight, reject-with-reason when full, reweight, leave/free_at, and
+/// the error replies for nonsense requests.
+#[test]
+fn protocol_paths_over_the_socket() {
+    let (socket, _) = scratch("proto");
+    std::fs::remove_file(&socket).ok();
+    let mut child = spawn_admitd(&socket, &["--cpus", "2", "--no-trace"]);
+    let mut client = connect(&socket);
+
+    // Admit: weight and first pseudo-release come back computed.
+    let r = client.join(1_000, 2_000).expect("join");
+    assert!(matches!(r.status, Status::Admitted), "{:?}", r.error);
+    let id = r.task.expect("task id");
+    assert_eq!((r.weight_num, r.weight_den), (Some(1), Some(2)));
+    assert!(r.first_release.is_some());
+
+    // A full-processor task still fits (Σ = 1.5 ≤ 2)…
+    let r = client.join(2_000, 2_000).expect("reply");
+    assert!(matches!(r.status, Status::Admitted), "{:?}", r.error);
+    // …but the next one overloads (1.5 + 1.0 > 2): reject, with reason.
+    let r2 = client.join(1_900, 2_000).expect("reply");
+    assert!(matches!(r2.status, Status::Rejected), "{:?}", r2.status);
+    assert!(r2.error.is_some(), "rejections carry a reason");
+
+    // Reweight the first task downward. (The pre-check is conservative —
+    // it charges the new weight without crediting the old — so upward
+    // moves need Σ + new ≤ M; 1.5 + 0.25 fits.)
+    let r = client.reweight(id, 500, 2_000).expect("reweight");
+    assert!(matches!(r.status, Status::Admitted), "{:?}", r.error);
+    assert_eq!((r.weight_num, r.weight_den), (Some(1), Some(4)));
+    let id = r.task.expect("reweight hands back the new id");
+
+    // Leave reports the §5.2 safe release point.
+    let r = client.leave(id).expect("leave");
+    assert!(matches!(r.status, Status::Left));
+    assert!(r.free_at.is_some());
+
+    // Nonsense: leaving a task that never existed is an error reply,
+    // not a dropped connection.
+    let r = client.leave(4_242).expect("reply");
+    assert!(matches!(r.status, Status::Error));
+
+    client.shutdown().expect("shutdown");
+    assert!(child.wait().expect("exit").success());
+    std::fs::remove_file(&socket).ok();
+}
+
+/// Chaos: SIGKILL the daemon while a subscriber is streaming decisions
+/// and a second client has requests in flight. Both must see a clean
+/// [`ClientError::Disconnected`] promptly — no hang, no panic.
+#[test]
+fn sigkill_mid_stream_surfaces_clean_error() {
+    let (socket, _) = scratch("chaos");
+    std::fs::remove_file(&socket).ok();
+    // A 1 ms quantum keeps the real-time pacer off a busy spin (zero
+    // overheads alone would mean 1 µs slots).
+    let mut child = spawn_admitd(
+        &socket,
+        &["--no-trace", "--pace", "real", "--quantum-us", "1000"],
+    );
+
+    let mut sub = connect(&socket).subscribe().expect("subscribe");
+    let mut client = connect(&socket);
+    client
+        .join(100, 10_000)
+        .expect("one admitted task to stream about");
+    sub.next().expect("stream is live before the kill");
+
+    child.kill().expect("SIGKILL daemon");
+    child.wait().expect("reap");
+
+    let started = Instant::now();
+    // The subscriber's blocking read must end in Disconnected, fast —
+    // after draining whatever frames were already buffered in the
+    // socket when the daemon died.
+    loop {
+        match sub.next() {
+            Ok(_) if started.elapsed() < Duration::from_secs(5) => continue,
+            Ok(_) => panic!("stream still yielding frames 5s after SIGKILL"),
+            Err(ClientError::Disconnected) => break,
+            Err(other) => panic!("expected Disconnected after SIGKILL, got {other:?}"),
+        }
+    }
+    // In-flight request path: send may still succeed into the dead
+    // socket's buffer, but the reply read must fail cleanly.
+    let err = client.join(100, 10_000).expect_err("daemon is gone");
+    assert!(
+        matches!(err, ClientError::Disconnected | ClientError::Io(_)),
+        "clean transport error, got {err:?}"
+    );
+    assert!(
+        started.elapsed() < Duration::from_secs(5),
+        "death must surface promptly, took {:?}",
+        started.elapsed()
+    );
+    std::fs::remove_file(&socket).ok();
+}
