@@ -4,11 +4,15 @@
 //! Requests arriving within one quantum are decided *together* against a
 //! single schedulability evaluation: the batch is put into a canonical
 //! order (leaves, then reweights, then joins, each sub-ordered by task
-//! parameters with the nonce as final tie-break), and one pass over that
-//! order charges a single running [`WeightSum`] copied from the live
-//! scheduler. The outcome is therefore a pure function of the *set* of
-//! requests in the batch — arrival interleaving cannot change who gets
-//! admitted (see `batch_order_is_deterministic`).
+//! parameters *ascending* — target id for leaves/reweights, then
+//! `(period, cost)` for joins — with the nonce as tie-break and the
+//! intake index as a final server-assigned tie-break so sort keys are
+//! always distinct), and one pass over that order charges a single
+//! running [`WeightSum`] copied from the live scheduler. The outcome is
+//! therefore a pure function of the *multiset* of requests in the batch —
+//! arrival interleaving cannot change who gets admitted, and two
+//! byte-identical requests are interchangeable (see
+//! `batch_order_is_deterministic`).
 //!
 //! The evaluation pass ([`AdmissionCore::evaluate`]) is allocation-free:
 //! every buffer it touches (pending batch, canonical order, verdicts, the
@@ -231,9 +235,23 @@ impl AdmissionCore {
         self.sim.last_chosen()
     }
 
+    /// Intake-order index of each reply appended by the last
+    /// [`decide_batch`](Self::decide_batch): `replies[k]` answered the
+    /// `decided_order()[k]`-th request accepted into that batch via
+    /// [`push_request`](Self::push_request). The transport routes replies
+    /// back to connections through this mapping — nonces are
+    /// client-chosen and may collide across clients, so they cannot
+    /// identify a connection.
+    pub fn decided_order(&self) -> &[u32] {
+        &self.order
+    }
+
     /// The canonical sort key of a request: leaves before reweights
-    /// before joins, then by target/parameters, then by nonce. Total and
-    /// arrival-order-independent.
+    /// before joins, then by target/parameters ascending, then by nonce.
+    /// Nonces are client-chosen, so two clients can submit byte-identical
+    /// requests with colliding nonces; [`evaluate`](Self::evaluate)
+    /// appends the intake index as a final tie-break, making the full
+    /// sort key unique and the order total.
     fn canon_key(req: &Request) -> (u8, u64, u64, u64) {
         match req.op {
             crate::proto::Op::Leave => (0, u64::from(req.task.unwrap_or(u32::MAX)), 0, req.nonce),
@@ -267,8 +285,12 @@ impl AdmissionCore {
             self.verdicts.push(Verdict::Reject(RejectCode::Malformed));
         }
         let pending = &self.pending;
+        // The intake index makes every key distinct: byte-identical
+        // requests from different clients decide in arrival order, which
+        // is immaterial (they are interchangeable) but keeps the sort
+        // total and the reply-to-slot mapping exact.
         self.order
-            .sort_unstable_by_key(|&i| Self::canon_key(&pending[i as usize]));
+            .sort_unstable_by_key(|&i| (Self::canon_key(&pending[i as usize]), i));
 
         // One evaluation for the whole batch: the running sum starts from
         // the live scheduler total and is only ever *charged* (leaves
@@ -444,6 +466,12 @@ impl AdmissionCore {
                                     r
                                 }
                                 Err(msg) => {
+                                    // The old task really departed even
+                                    // though the rejoin failed — keep the
+                                    // counters consistent with scheduler
+                                    // state.
+                                    self.left += 1;
+                                    self.active -= 1;
                                     let mut r = Reply::new(req.nonce, Status::Error, now);
                                     r.error = Some(format!(
                                         "reweight: old task {old} left but rejoin failed: {msg}"
@@ -614,6 +642,27 @@ mod tests {
     }
 
     #[test]
+    fn identical_requests_with_colliding_nonces_each_get_a_reply() {
+        // Two clients can submit byte-identical requests (same op,
+        // params, and nonce). The intake-index tie-break keeps the sort
+        // total: both decide, in intake order, with distinct task ids.
+        let mut c = core(2);
+        let reqs = vec![
+            Request::join(1, 1_000, 4_000),
+            Request::join(1, 1_000, 4_000),
+        ];
+        for r in reqs {
+            assert!(c.push_request(r));
+        }
+        let mut replies = Vec::new();
+        c.decide_batch(&mut replies);
+        assert_eq!(replies.len(), 2);
+        assert_eq!(c.decided_order(), &[0, 1], "intake order breaks the tie");
+        assert!(replies.iter().all(|r| r.status == Status::Admitted));
+        assert_ne!(replies[0].task, replies[1].task);
+    }
+
+    #[test]
     fn leaves_decide_before_joins_but_weight_stays_charged() {
         let mut c = core(1);
         let replies = decide(&mut c, vec![Request::join(1, 2_000, 4_000)]);
@@ -625,8 +674,11 @@ mod tests {
             &mut c,
             vec![Request::join(2, 3_000, 4_000), Request::leave(3, id)],
         );
-        // Canonical order: the leave decides first.
+        // Canonical order: the leave decides first, and decided_order
+        // maps each reply back to its intake slot (join was pushed
+        // first, so replies[0] answers pending slot 1).
         assert_eq!(replies[0].nonce, 3);
+        assert_eq!(c.decided_order(), &[1, 0]);
         assert_eq!(replies[0].status, Status::Left);
         assert_eq!(replies[1].status, Status::Rejected);
         // Once the safe point has been ticked past, the join fits.

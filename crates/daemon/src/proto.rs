@@ -42,9 +42,12 @@ pub enum Op {
 pub struct Request {
     /// What to do.
     pub op: Op,
-    /// Client-chosen correlation id, echoed verbatim in the reply. Also
-    /// the deterministic tie-break within a batch, so clients should use
-    /// distinct nonces per in-flight request.
+    /// Client-chosen correlation id, echoed verbatim in the reply. The
+    /// daemon routes replies by connection (never by nonce, which may
+    /// collide across clients); distinct nonces per in-flight request
+    /// let a pipelining client match replies on its own connection. Also
+    /// a deterministic within-batch tie-break ahead of the
+    /// server-assigned intake index.
     pub nonce: u64,
     /// Target task id (`Leave`/`Reweight`).
     pub task: Option<u32>,

@@ -22,7 +22,7 @@ use std::io;
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::PathBuf;
 use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// How the daemon advances quantum edges.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -34,7 +34,10 @@ pub enum Pace {
     Virtual,
     /// Quantum edges fire every `quantum_us` of wall time whether or not
     /// requests arrived, so the simulation tracks wall time and
-    /// subscribers see idle slots too.
+    /// subscribers see idle slots too. Arrivals accumulate until the
+    /// current edge is reached (they never advance it early); if deciding
+    /// a batch overruns the quantum, the next edge is re-anchored rather
+    /// than burst-replayed, so slots never advance faster than wall time.
     RealTime,
 }
 
@@ -131,63 +134,95 @@ fn serve(cfg: &ServerConfig, listener: UnixListener) -> io::Result<RunReport> {
     let quantum = Duration::from_micros(cfg.core.params.quantum_us.max(1));
     let mut subscribers: Vec<Sender<String>> = Vec::new();
     let mut replies: Vec<Reply> = Vec::new();
-    let mut reply_routes: Vec<(u64, Sender<String>)> = Vec::new();
+    // `reply_routes[i]` is the connection whose request became the i-th
+    // pending slot of the current batch (intake order) — index-aligned
+    // with `AdmissionCore::decided_order`, never keyed on client-chosen
+    // nonces, which can collide across connections.
+    let mut reply_routes: Vec<Sender<String>> = Vec::new();
     let mut shutdown_acks: Vec<(u64, Sender<String>)> = Vec::new();
     let mut shutting_down = false;
+    let mut disconnected = false;
+    let mut next_edge = Instant::now() + quantum;
 
     while !shutting_down {
-        // Gather one quantum's batch. Virtual pace blocks for the first
-        // item; real-time pace waits out the quantum and takes whatever
-        // arrived (possibly nothing).
-        let first = match cfg.pace {
-            Pace::Virtual => match work_rx.recv() {
-                Ok(item) => Some(item),
-                Err(_) => break, // acceptor gone and all connections closed
-            },
-            Pace::RealTime => match work_rx.recv_timeout(quantum) {
-                Ok(item) => Some(item),
-                Err(RecvTimeoutError::Timeout) => None,
-                Err(RecvTimeoutError::Disconnected) => break,
-            },
-        };
+        if disconnected && core.pending_len() == 0 {
+            break; // acceptor gone and all connections closed
+        }
         reply_routes.clear();
-        let mut intake =
-            |item: WorkItem, core: &mut AdmissionCore, subscribers: &mut Vec<Sender<String>>| {
-                match item.req.op {
-                    Op::Join | Op::Leave | Op::Reweight => {
-                        let nonce = item.req.nonce;
-                        if core.push_request(item.req) {
-                            reply_routes.push((nonce, item.reply_tx));
-                        } else {
-                            refused_full.add(1);
-                            let mut r = Reply::new(nonce, Status::Error, core.slot());
-                            r.error = Some("batch full; retry next quantum".to_string());
-                            send_reply(&item.reply_tx, &r);
-                        }
-                    }
-                    Op::Stats => {
-                        let mut r = Reply::new(item.req.nonce, Status::Stats, core.slot());
-                        r.task_count = Some(core.task_count() as u64);
-                        r.weight_ppm = Some(core.weight_ppm());
-                        r.snapshot = Some(rec.snapshot().to_json());
+        // Returns true when the item was a shutdown request.
+        let mut intake = |item: WorkItem,
+                          core: &mut AdmissionCore,
+                          subscribers: &mut Vec<Sender<String>>|
+         -> bool {
+            match item.req.op {
+                Op::Join | Op::Leave | Op::Reweight => {
+                    let nonce = item.req.nonce;
+                    if core.push_request(item.req) {
+                        reply_routes.push(item.reply_tx);
+                    } else {
+                        refused_full.add(1);
+                        let mut r = Reply::new(nonce, Status::Error, core.slot());
+                        r.error = Some("batch full; retry next quantum".to_string());
                         send_reply(&item.reply_tx, &r);
                     }
-                    Op::Subscribe => {
-                        let r = Reply::new(item.req.nonce, Status::Subscribed, core.slot());
-                        send_reply(&item.reply_tx, &r);
-                        subscribers.push(item.reply_tx);
+                    false
+                }
+                Op::Stats => {
+                    let mut r = Reply::new(item.req.nonce, Status::Stats, core.slot());
+                    r.task_count = Some(core.task_count() as u64);
+                    r.weight_ppm = Some(core.weight_ppm());
+                    r.snapshot = Some(rec.snapshot().to_json());
+                    send_reply(&item.reply_tx, &r);
+                    false
+                }
+                Op::Subscribe => {
+                    let r = Reply::new(item.req.nonce, Status::Subscribed, core.slot());
+                    send_reply(&item.reply_tx, &r);
+                    subscribers.push(item.reply_tx);
+                    false
+                }
+                Op::Shutdown => {
+                    shutdown_acks.push((item.req.nonce, item.reply_tx));
+                    true
+                }
+            }
+        };
+        // Gather one quantum's batch. Virtual pace blocks for the first
+        // item and takes whatever else already arrived; real-time pace
+        // accumulates arrivals until the absolute quantum edge is
+        // reached, so sustained traffic cannot advance slots faster than
+        // wall time.
+        match cfg.pace {
+            Pace::Virtual => {
+                match work_rx.recv() {
+                    Ok(item) => shutting_down |= intake(item, &mut core, &mut subscribers),
+                    Err(_) => disconnected = true,
+                }
+                while let Ok(item) = work_rx.try_recv() {
+                    shutting_down |= intake(item, &mut core, &mut subscribers);
+                }
+            }
+            Pace::RealTime => {
+                while !shutting_down && !disconnected {
+                    let now = Instant::now();
+                    if now >= next_edge {
+                        break;
                     }
-                    Op::Shutdown => {
-                        shutdown_acks.push((item.req.nonce, item.reply_tx));
-                        shutting_down = true;
+                    match work_rx.recv_timeout(next_edge - now) {
+                        Ok(item) => shutting_down |= intake(item, &mut core, &mut subscribers),
+                        Err(RecvTimeoutError::Timeout) => break,
+                        Err(RecvTimeoutError::Disconnected) => disconnected = true,
                     }
                 }
-            };
-        if let Some(item) = first {
-            intake(item, &mut core, &mut subscribers);
-        }
-        while let Ok(item) = work_rx.try_recv() {
-            intake(item, &mut core, &mut subscribers);
+                next_edge += quantum;
+                let now = Instant::now();
+                if next_edge < now {
+                    // Deciding the previous batch overran the quantum (or
+                    // the host stalled): re-anchor instead of bursting
+                    // catch-up edges.
+                    next_edge = now + quantum;
+                }
+            }
         }
 
         if core.pending_len() == 0 && cfg.pace == Pace::Virtual && !shutting_down {
@@ -203,14 +238,16 @@ fn serve(cfg: &ServerConfig, listener: UnixListener) -> io::Result<RunReport> {
         let decided_at = core.decide_batch(&mut replies);
         drop(span);
 
-        // Replies come back in canonical order; route each to its
-        // connection by nonce (nonces in one batch are distinct unless a
-        // client reuses them — then any of its own replies may match,
-        // which is the client's own ambiguity to avoid).
-        for reply in &replies {
-            if let Some(pos) = reply_routes.iter().position(|(n, _)| *n == reply.nonce) {
-                let (_, tx) = reply_routes.swap_remove(pos);
-                send_reply(&tx, reply);
+        // Replies come back in canonical order; `decided_order()[k]` is
+        // the intake index of the request `replies[k]` answered, which
+        // indexes straight into `reply_routes`. Routing is therefore by
+        // connection, never by the client-chosen nonce — two clients with
+        // colliding nonces in one batch each still get their own reply.
+        let order = core.decided_order();
+        debug_assert_eq!(order.len(), replies.len());
+        for (k, reply) in replies.iter().enumerate() {
+            if let Some(tx) = order.get(k).and_then(|&i| reply_routes.get(i as usize)) {
+                send_reply(tx, reply);
             }
         }
 

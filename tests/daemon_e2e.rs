@@ -153,6 +153,107 @@ fn protocol_paths_over_the_socket() {
     std::fs::remove_file(&socket).ok();
 }
 
+/// Two clients whose nonces collide (every `DaemonClient` starts at
+/// nonce 1) submit distinguishable joins into the same batch; each must
+/// receive the reply for *its own* request — routing is by connection,
+/// not by the client-chosen nonce.
+#[test]
+fn colliding_nonces_across_clients_route_to_own_connection() {
+    let (socket, _) = scratch("nonce");
+    std::fs::remove_file(&socket).ok();
+    // A long real-time quantum makes both requests land in one batch.
+    let mut child = spawn_admitd(
+        &socket,
+        &["--no-trace", "--pace", "real", "--quantum-us", "50000"],
+    );
+    let mut a = connect(&socket);
+    let mut b = connect(&socket);
+
+    // Both calls use nonce 1. Params are multiples of the 50 ms quantum
+    // so quantization cannot blur them: A is weight 1/2, B is 1/4.
+    let ta = std::thread::spawn(move || a.join(100_000, 200_000).expect("join a"));
+    let tb = std::thread::spawn(move || b.join(50_000, 200_000).expect("join b"));
+    let ra = ta.join().expect("client a thread");
+    let rb = tb.join().expect("client b thread");
+
+    assert!(matches!(ra.status, Status::Admitted), "{:?}", ra.error);
+    assert!(matches!(rb.status, Status::Admitted), "{:?}", rb.error);
+    assert_eq!(
+        (ra.weight_num, ra.weight_den),
+        (Some(1), Some(2)),
+        "client a must get the reply for its own 1/2-weight join"
+    );
+    assert_eq!(
+        (rb.weight_num, rb.weight_den),
+        (Some(1), Some(4)),
+        "client b must get the reply for its own 1/4-weight join"
+    );
+    assert_ne!(ra.task, rb.task);
+
+    connect(&socket).shutdown().expect("shutdown");
+    assert!(child.wait().expect("exit").success());
+    std::fs::remove_file(&socket).ok();
+}
+
+/// Real-time pacing ticks off absolute wall-clock edges: a burst of
+/// pipelined requests accumulates into a few quantum batches instead of
+/// advancing one slot per request, and idle wall time keeps slots
+/// moving.
+#[test]
+fn realtime_pace_batches_by_wall_clock() {
+    let (socket, _) = scratch("pace");
+    std::fs::remove_file(&socket).ok();
+    let mut child = spawn_admitd(
+        &socket,
+        &["--no-trace", "--pace", "real", "--quantum-us", "20000"],
+    );
+    let mut client = connect(&socket);
+
+    // 30 light joins (1/100 weight each) at ~1 ms spacing — sustained
+    // traffic much faster than the quantum. Edges are absolute, so the
+    // ~30 ms of sends must be decided in a handful of 20 ms batches;
+    // request-triggered pacing would advance ~one slot per arrival.
+    const BURST: usize = 30;
+    for _ in 0..BURST {
+        let nonce = client.take_nonce();
+        client
+            .send(&Request::join(nonce, 20_000, 2_000_000))
+            .expect("send join");
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    let mut slots = Vec::new();
+    for _ in 0..BURST {
+        let reply = client.recv().expect("reply");
+        assert!(
+            matches!(reply.status, Status::Admitted),
+            "{:?}",
+            reply.error
+        );
+        slots.push(reply.slot);
+    }
+    slots.dedup();
+    assert!(
+        slots.len() <= 8,
+        "{BURST} requests over ~1.5 quanta decided across {} slots — \
+         real-time pacing is advancing per-request, not per-quantum",
+        slots.len()
+    );
+
+    // Idle wall time still ticks: ~150 ms with a 20 ms quantum must
+    // advance the slot counter even with no requests in flight.
+    let before = client.stats().expect("stats").slot;
+    std::thread::sleep(Duration::from_millis(150));
+    let after = client.stats().expect("stats").slot;
+    assert!(
+        after >= before + 3,
+        "idle wall time must advance slots (before={before}, after={after})"
+    );
+
+    client.shutdown().expect("shutdown");
+    assert!(child.wait().expect("exit").success());
+    std::fs::remove_file(&socket).ok();
+}
+
 /// Chaos: SIGKILL the daemon while a subscriber is streaming decisions
 /// and a second client has requests in flight. Both must see a clean
 /// [`ClientError::Disconnected`] promptly — no hang, no panic.
