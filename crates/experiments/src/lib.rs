@@ -13,6 +13,8 @@
 //! | `quantum` | §4 "Challenges" | Quantum-size trade-off: rounding loss vs. overhead loss |
 //! | `dhall` | §1           | Dhall effect: global EDF vs. PD² on near-unit-utilization sets |
 //! | `faults` | §6 (future work) | Degradation under injected faults: PD² (with recovery) vs. partitioned EDF |
+//! | `tournament` | §3 + PAPERS.md | Multi-criteria scheduler tournament: FF/BF/WF/NF/FFD/BFD vs. PD² vs. exact global EDF |
+//! | `slack` | §6 (future work) | Slack reservation: spare processors / weight margins vs. post-fault lag recovery |
 //!
 //! All binaries accept `--sets`, `--seed`, `--csv`, and figure-specific
 //! flags (see `--help`); defaults are sized so the full suite runs in
@@ -41,6 +43,7 @@ pub mod fig34;
 pub mod metrics;
 pub mod procs;
 pub mod quantum;
+pub mod tournament;
 
 pub use args::Args;
 pub use checkpoint::{

@@ -21,7 +21,11 @@
 //!   [`FaultMetrics`](sched_sim::FaultMetrics), every PD² run verified
 //!   against its event-adjusted Pfair windows (and, traced, re-verifiable
 //!   offline from the captured
-//!   [`ScheduleTrace`](sched_sim::ScheduleTrace)).
+//!   [`ScheduleTrace`](sched_sim::ScheduleTrace)). [`run_pd2_slack`]
+//!   adds the slack-reservation experiment: spare processors or a weight
+//!   margin ([`SlackPlan`]) buy headroom against structural overruns,
+//!   and the [`RecoveryProfile`] reports how fast application lag
+//!   re-converges once a fault window closes.
 //!
 //! Determinism contract: every fault decision is a hash of the seed and
 //! the decision's coordinates, never of simulation history. Two
@@ -42,4 +46,7 @@ pub mod runner;
 pub use edf::{PartitionError, QuantumEdfSim};
 pub use plan::{FaultConfig, FaultPlan, PlanDelays};
 pub use recovery::{run_with_recovery, RecoveryController, RecoveryPolicy, RecoveryStats};
-pub use runner::{run_edf, run_pd2, run_pd2_traced, DegradationOutcome};
+pub use runner::{
+    inflate_declared, run_edf, run_pd2, run_pd2_slack, run_pd2_slack_traced, run_pd2_traced,
+    DegradationOutcome, RecoveryProfile, SlackOutcome, SlackPlan,
+};

@@ -39,6 +39,81 @@ pub struct DegradationOutcome {
     pub window_violation: Option<WindowViolation>,
 }
 
+/// Reservation strategy for the slack-reservation experiment (ROADMAP
+/// open item 3): the degradation sweep showed WCET overruns are
+/// *structural* for PD² — the scheduler serves exactly the declared
+/// weight, so a lag watchdog sees no scheduler-level backlog to act on.
+/// The remedy is to buy slack up front, either as whole spare processors
+/// (run at `M + spare_procs`) or as a per-task weight margin (declare
+/// `ceil(e·(1+margin))`, capped at the period, while jobs still demand
+/// `e`), and measure how fast application lag re-converges once the
+/// fault window closes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SlackPlan {
+    /// Spare processors beyond the inflated set's minimum.
+    pub spare_procs: u32,
+    /// Per-task weight-inflation margin (0.25 = +25 % declared cost).
+    pub margin: f64,
+    /// Application-lag level above which a slot counts as degraded.
+    pub lag_threshold: f64,
+}
+
+impl SlackPlan {
+    /// No reservation at all: schedule the set as declared on its minimum
+    /// processor count — the degradation baseline.
+    pub fn none(lag_threshold: f64) -> Self {
+        SlackPlan {
+            spare_procs: 0,
+            margin: 0.0,
+            lag_threshold,
+        }
+    }
+}
+
+/// Per-slot application-lag profile of a run: how long, how often, and
+/// how late the maximum app lag sat above the [`SlackPlan`] threshold.
+/// "Recovery time" is the episode length — a fault window pushes lag over
+/// the threshold, the reserved slack works it back under.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct RecoveryProfile {
+    /// Slots with max application lag above the threshold.
+    pub degraded_slots: u64,
+    /// Maximal runs of consecutive degraded slots.
+    pub episodes: u64,
+    /// Length of the longest episode (the worst recovery time).
+    pub longest_episode: u64,
+    /// First slot that went degraded, if any.
+    pub first_degraded: Option<Slot>,
+    /// Slot at which lag last returned under the threshold, if it did.
+    pub last_recovery: Option<Slot>,
+    /// Whether the run *ended* degraded (never recovered).
+    pub degraded_at_end: bool,
+}
+
+impl RecoveryProfile {
+    /// Mean episode length (recovery time) in slots; 0 with no episodes.
+    pub fn mean_episode(&self) -> f64 {
+        if self.episodes == 0 {
+            0.0
+        } else {
+            self.degraded_slots as f64 / self.episodes as f64
+        }
+    }
+}
+
+/// Everything a slack-reservation run produces.
+#[derive(Debug, Clone)]
+pub struct SlackOutcome {
+    /// The underlying degradation run (metrics, recovery, verification).
+    pub outcome: DegradationOutcome,
+    /// Processors the strategy actually ran on.
+    pub procs: u32,
+    /// Total *declared* (inflated) utilization handed to the scheduler.
+    pub declared_util: f64,
+    /// The lag-threshold recovery profile.
+    pub profile: RecoveryProfile,
+}
+
 /// What [`drive`] hands back before policy-independent packaging.
 struct RawRun {
     faults: FaultMetrics,
@@ -46,6 +121,7 @@ struct RawRun {
     stats: RecoveryStats,
     violation: Option<WindowViolation>,
     trace: Option<ScheduleTrace>,
+    profile: RecoveryProfile,
 }
 
 fn drive<D: DelayModel>(
@@ -55,6 +131,7 @@ fn drive<D: DelayModel>(
     bursts: Vec<TraceEvent>,
     horizon: Slot,
     want_trace: bool,
+    lag_threshold: Option<f64>,
 ) -> RawRun {
     sim.record_events();
     if want_trace {
@@ -71,10 +148,13 @@ fn drive<D: DelayModel>(
     }
     sim.set_recovery_hook(Box::new(ctl));
     let mut violation = None;
+    let mut profile = RecoveryProfile::default();
+    let mut in_episode = false;
+    let mut episode_len = 0u64;
     // Events recorded so far (the bursts pushed above) are already
     // applied; only drain what each step appends.
     let mut seen = sim.events().len();
-    for _ in 0..horizon {
+    for t in 0..horizon {
         sim.step();
         // Recovery events (shed / rejoin / catch-up) recorded during the
         // step's slot boundary must reach the checker before that slot's
@@ -86,7 +166,24 @@ fn drive<D: DelayModel>(
         if let Err(v) = check.observe_slot(sim.last_chosen()) {
             violation.get_or_insert(v);
         }
+        if let Some(thr) = lag_threshold {
+            if sim.current_max_app_lag() > thr {
+                profile.degraded_slots += 1;
+                if !in_episode {
+                    in_episode = true;
+                    episode_len = 0;
+                    profile.episodes += 1;
+                    profile.first_degraded.get_or_insert(t);
+                }
+                episode_len += 1;
+                profile.longest_episode = profile.longest_episode.max(episode_len);
+            } else if in_episode {
+                in_episode = false;
+                profile.last_recovery = Some(t);
+            }
+        }
     }
+    profile.degraded_at_end = in_episode;
     let faults = sim.finalize_faults();
     let run = sim.metrics();
     let trace = want_trace
@@ -103,6 +200,7 @@ fn drive<D: DelayModel>(
         stats: ctl.stats(),
         violation,
         trace,
+        profile,
     }
 }
 
@@ -124,11 +222,11 @@ fn run_pd2_inner(
         let sched = PfairScheduler::with_delays(tasks, sched_cfg, plan.delays(tasks));
         let mut sim = MultiSim::with_scheduler(tasks, sched);
         sim.set_fault_hook(Box::new(plan));
-        drive(tasks, sim, ctl, bursts, horizon, want_trace)
+        drive(tasks, sim, ctl, bursts, horizon, want_trace, None)
     } else {
         let mut sim = MultiSim::new(tasks, sched_cfg);
         sim.set_fault_hook(Box::new(plan));
-        drive(tasks, sim, ctl, bursts, horizon, want_trace)
+        drive(tasks, sim, ctl, bursts, horizon, want_trace, None)
     };
     (
         DegradationOutcome {
@@ -172,6 +270,111 @@ pub fn run_pd2_traced(
     horizon: Slot,
 ) -> (DegradationOutcome, ScheduleTrace) {
     let (out, trace) = run_pd2_inner(tasks, m, cfg, policy, horizon, true);
+    (out, trace.expect("inner run records a trace when asked"))
+}
+
+/// The inflated *declared* task set a [`SlackPlan`] margin buys: each
+/// cost becomes `ceil(e·(1+margin))`, capped at the period (weights stay
+/// ≤ 1). `margin = 0` returns the set unchanged.
+pub fn inflate_declared(tasks: &TaskSet, margin: f64) -> TaskSet {
+    assert!(margin >= 0.0, "a negative margin is not a reservation");
+    let pairs: Vec<(u64, u64)> = tasks
+        .iter()
+        .map(|(_, t)| {
+            let inflated = (t.exec as f64 * (1.0 + margin)).ceil() as u64;
+            (inflated.clamp(t.exec, t.period), t.period)
+        })
+        .collect();
+    TaskSet::from_pairs(pairs).expect("inflation caps each cost at its period")
+}
+
+fn run_pd2_slack_inner(
+    tasks: &TaskSet,
+    cfg: FaultConfig,
+    policy: RecoveryPolicy,
+    horizon: Slot,
+    slack: SlackPlan,
+    want_trace: bool,
+) -> (SlackOutcome, Option<ScheduleTrace>) {
+    let declared = inflate_declared(tasks, slack.margin);
+    let m = declared.min_processors() + slack.spare_procs;
+    let plan = FaultPlan::new(cfg);
+    let sched_cfg = SchedConfig::pd2(m);
+    let bursts = plan.burst_events(&declared, horizon);
+    let ctl = RecoveryController::new(plan.clone(), &declared, m, policy);
+    let thr = Some(slack.lag_threshold);
+    // The scheduler serves the *declared* (inflated) set — windows,
+    // weights, and verification all follow the reservation — while the
+    // app layer is pointed back at the true per-job demand, so the
+    // surplus quanta are the slack the faults have to eat through.
+    fn point_back<D: DelayModel>(sim: &mut MultiSim<D>, declared: &TaskSet, actual: &TaskSet) {
+        for ((id, d), (_, a)) in declared.iter().zip(actual.iter()) {
+            if d.exec != a.exec {
+                sim.set_app_demand(id, a.exec);
+            }
+        }
+    }
+    let raw = if cfg.burst_rate > 0.0 {
+        let sched = PfairScheduler::with_delays(&declared, sched_cfg, plan.delays(&declared));
+        let mut sim = MultiSim::with_scheduler(&declared, sched);
+        sim.set_fault_hook(Box::new(plan));
+        point_back(&mut sim, &declared, tasks);
+        drive(&declared, sim, ctl, bursts, horizon, want_trace, thr)
+    } else {
+        let mut sim = MultiSim::new(&declared, sched_cfg);
+        sim.set_fault_hook(Box::new(plan));
+        point_back(&mut sim, &declared, tasks);
+        drive(&declared, sim, ctl, bursts, horizon, want_trace, thr)
+    };
+    let trace = raw.trace;
+    (
+        SlackOutcome {
+            outcome: DegradationOutcome {
+                faults: raw.faults,
+                run: raw.run,
+                recovery: (policy != RecoveryPolicy::None).then_some(raw.stats),
+                window_violation: raw.violation,
+            },
+            procs: m,
+            declared_util: declared.total_utilization().to_f64(),
+            profile: raw.profile,
+        },
+        trace,
+    )
+}
+
+/// Runs the slack-reservation experiment: PD² over the margin-inflated
+/// (and/or spare-processor-backed) reservation of `tasks`, faults drawn
+/// from `cfg`, while the application layer demands only the true costs.
+/// The returned [`RecoveryProfile`] says how long application lag sat
+/// above [`SlackPlan::lag_threshold`] — with a fault window
+/// ([`FaultConfig::window_start`]/[`window_end`](FaultConfig::window_end))
+/// that closes before the horizon, the profile measures post-fault
+/// recovery time directly.
+///
+/// The run is window-verified against the *declared* set's Pfair windows
+/// (the reservation is what the scheduler must serve fairly).
+pub fn run_pd2_slack(
+    tasks: &TaskSet,
+    cfg: FaultConfig,
+    policy: RecoveryPolicy,
+    horizon: Slot,
+    slack: SlackPlan,
+) -> SlackOutcome {
+    run_pd2_slack_inner(tasks, cfg, policy, horizon, slack, false).0
+}
+
+/// [`run_pd2_slack`] that additionally captures a [`ScheduleTrace`] of
+/// the declared-set schedule (fault/recovery events included) for offline
+/// re-verification via `verify_trace`.
+pub fn run_pd2_slack_traced(
+    tasks: &TaskSet,
+    cfg: FaultConfig,
+    policy: RecoveryPolicy,
+    horizon: Slot,
+    slack: SlackPlan,
+) -> (SlackOutcome, ScheduleTrace) {
+    let (out, trace) = run_pd2_slack_inner(tasks, cfg, policy, horizon, slack, true);
     (out, trace.expect("inner run records a trace when asked"))
 }
 
@@ -287,6 +490,139 @@ mod tests {
         let back = ScheduleTrace::from_json(&json).expect("trace JSON round-trips");
         assert_eq!(back, trace);
         back.verify().expect("archived faulted trace re-verifies");
+    }
+
+    #[test]
+    fn inflate_declared_caps_and_rounds_up() {
+        let set = TaskSet::from_pairs([(1u64, 2u64), (3, 5), (7, 7)]).unwrap();
+        let inflated = inflate_declared(&set, 0.25);
+        let pairs: Vec<(u64, u64)> = inflated.iter().map(|(_, t)| (t.exec, t.period)).collect();
+        // ceil(1·1.25) = 2, ceil(3·1.25) = 4, ceil(7·1.25) = 9 capped at 7.
+        assert_eq!(pairs, vec![(2, 2), (4, 5), (7, 7)]);
+        let same = inflate_declared(&set, 0.0);
+        assert_eq!(
+            same.iter()
+                .map(|(_, t)| (t.exec, t.period))
+                .collect::<Vec<_>>(),
+            vec![(1, 2), (3, 5), (7, 7)]
+        );
+    }
+
+    /// A windowed fault storm — overruns plus a recurring one-processor
+    /// outage — that stops at slot 200; the rest of the horizon shows
+    /// whether (and how fast) the reservation works the lag back off.
+    fn storm_window(seed: u64) -> FaultConfig {
+        FaultConfig {
+            overrun_rate: 0.5,
+            overrun_max: 2,
+            fail_every: 50,
+            fail_duration: 25,
+            max_down: 1,
+            window_start: 0,
+            window_end: 200,
+            ..FaultConfig::none(seed)
+        }
+    }
+
+    #[test]
+    fn slack_baseline_matches_plain_run_shape() {
+        // margin 0 + no spares = the plain degradation run on min procs.
+        let set = tasks();
+        let out = run_pd2_slack(
+            &set,
+            FaultConfig::none(3),
+            RecoveryPolicy::None,
+            420,
+            SlackPlan::none(1.0),
+        );
+        assert_eq!(out.procs, set.min_processors());
+        assert!(out.outcome.window_violation.is_none());
+        assert_eq!(out.profile.degraded_slots, 0, "{:?}", out.profile);
+        assert!(!out.profile.degraded_at_end);
+    }
+
+    #[test]
+    fn margin_reservation_recovers_where_baseline_lags() {
+        let set = tasks();
+        let base = run_pd2_slack(
+            &set,
+            storm_window(11),
+            RecoveryPolicy::None,
+            600,
+            SlackPlan::none(1.0),
+        );
+        let margin = run_pd2_slack(
+            &set,
+            storm_window(11),
+            RecoveryPolicy::None,
+            600,
+            SlackPlan {
+                spare_procs: 0,
+                margin: 0.5,
+                lag_threshold: 1.0,
+            },
+        );
+        // The reservation must not be weaker than running bare, and the
+        // schedule stays window-verified in both configurations.
+        assert!(base.outcome.window_violation.is_none());
+        assert!(margin.outcome.window_violation.is_none());
+        assert!(margin.declared_util > base.declared_util);
+        assert!(
+            margin.profile.degraded_slots <= base.profile.degraded_slots,
+            "margin {:?} vs base {:?}",
+            margin.profile,
+            base.profile
+        );
+        // Overruns are structural at full load: the unreserved run ends
+        // degraded, the +50 % margin run works the lag back under the
+        // threshold after the fault window closes at slot 200.
+        assert!(base.profile.degraded_slots > 0, "{:?}", base.profile);
+        assert!(!margin.profile.degraded_at_end, "{:?}", margin.profile);
+    }
+
+    #[test]
+    fn spare_processor_needs_catchup_to_drain() {
+        // A spare processor reduces how much lag the outage inflicts, but
+        // plain PD² is not work-conserving: it keeps serving exactly the
+        // declared weights, so whatever lag did accrue never drains.
+        // ERfair catch-up is what turns the spare capacity into recovery.
+        let set = tasks();
+        let plan = SlackPlan {
+            spare_procs: 1,
+            margin: 0.0,
+            lag_threshold: 1.0,
+        };
+        let passive = run_pd2_slack(&set, storm_window(11), RecoveryPolicy::None, 600, plan);
+        assert_eq!(passive.procs, set.min_processors() + 1);
+        assert!(passive.outcome.window_violation.is_none());
+        let caught = run_pd2_slack(&set, storm_window(11), RecoveryPolicy::CatchUp, 600, plan);
+        assert_eq!(caught.procs, set.min_processors() + 1);
+        assert!(caught.outcome.window_violation.is_none());
+        assert!(
+            caught.profile.degraded_slots <= passive.profile.degraded_slots,
+            "catch-up {:?} vs passive {:?}",
+            caught.profile,
+            passive.profile
+        );
+        assert!(!caught.profile.degraded_at_end, "{:?}", caught.profile);
+    }
+
+    #[test]
+    fn slack_trace_reverifies_offline() {
+        let (out, trace) = run_pd2_slack_traced(
+            &tasks(),
+            storm_window(7),
+            RecoveryPolicy::None,
+            300,
+            SlackPlan {
+                spare_procs: 0,
+                margin: 0.25,
+                lag_threshold: 1.0,
+            },
+        );
+        assert!(out.outcome.window_violation.is_none());
+        let back = ScheduleTrace::from_json(&trace.to_json()).expect("round-trip");
+        back.verify().expect("slack trace re-verifies offline");
     }
 
     #[test]

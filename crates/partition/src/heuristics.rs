@@ -41,6 +41,20 @@ impl Heuristic {
     }
 }
 
+/// The named packing schemes of the multi-criteria tournament (Lupu et
+/// al., PAPERS.md): the four online heuristics in arrival order plus the
+/// two offline decreasing-utilization variants. FFD/BFD are FF/BF with a
+/// [`SortOrder::DecreasingUtilization`] pre-sort — the single source of
+/// truth for sweeps that iterate "all partitioning schemes".
+pub const PACKING_SCHEMES: [(Heuristic, SortOrder, &str); 6] = [
+    (Heuristic::FirstFit, SortOrder::None, "FF"),
+    (Heuristic::BestFit, SortOrder::None, "BF"),
+    (Heuristic::WorstFit, SortOrder::None, "WF"),
+    (Heuristic::NextFit, SortOrder::None, "NF"),
+    (Heuristic::FirstFit, SortOrder::DecreasingUtilization, "FFD"),
+    (Heuristic::BestFit, SortOrder::DecreasingUtilization, "BFD"),
+];
+
 /// Pre-sorting applied before packing.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum SortOrder {

@@ -27,5 +27,5 @@ pub use bounds::{lopez_bound, lopez_schedulable, worst_case_achievable_utilizati
 pub use heuristics::{
     partition, partition_observed, partition_unbounded, partition_unbounded_observed,
     partition_unbounded_with_obs, partition_with_obs, Heuristic, PartitionObs, PartitionResult,
-    SortOrder,
+    SortOrder, PACKING_SCHEMES,
 };

@@ -638,6 +638,37 @@ impl<D: DelayModel> MultiSim<D> {
         }
     }
 
+    /// Decouples the *application-level* demand of task `id` from its
+    /// declared cost: each of its jobs consumes `actual_exec` useful
+    /// quanta (plus any overrun draws) while the scheduler keeps serving
+    /// the declared — possibly larger — reservation. The slack-reservation
+    /// experiments (`crates/faults`) schedule a margin-inflated task set
+    /// and point the app layer back at the true demand with this call.
+    ///
+    /// The app-lag signal is rebased to the actual utilization
+    /// (`actual_exec / period`), so reserved-but-unneeded capacity does
+    /// not read as accumulating lag. Call after
+    /// [`set_fault_hook`](Self::set_fault_hook) (the application layer
+    /// only exists with a hook installed) and before the first
+    /// [`step`](Self::step), so job 0 sees the new demand.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no fault hook is installed or `actual_exec` is zero.
+    pub fn set_app_demand(&mut self, id: TaskId, actual_exec: u64) {
+        assert!(actual_exec >= 1, "a job needs at least one quantum");
+        assert!(
+            id.index() < self.app.len(),
+            "set_app_demand requires a fault hook (the app layer exists only with one)"
+        );
+        let a = &mut self.app[id.index()];
+        a.exec = actual_exec;
+        if a.job == 0 && a.done == 0 && !a.overrun_applied {
+            a.needed = actual_exec;
+        }
+        a.weight_f = actual_exec as f64 / a.period as f64;
+    }
+
     /// The scheduler's picks for the most recent slot, in descending
     /// priority order (before any fault-induced drops).
     pub fn last_chosen(&self) -> &[TaskId] {

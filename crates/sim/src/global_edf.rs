@@ -27,6 +27,12 @@ pub struct GlobalEdfStats {
     pub allocated_quanta: u64,
     /// Idle processor-quanta.
     pub idle_quanta: u64,
+    /// Preemptions: a job descheduled while still incomplete.
+    pub preemptions: u64,
+    /// Migrations: a job resumed on a different processor than it last
+    /// ran on (dispatch keeps processor affinity when possible, mirroring
+    /// [`MultiSim`](crate::MultiSim)'s assignment rule).
+    pub migrations: u64,
 }
 
 /// Per-task job state.
@@ -70,6 +76,9 @@ pub struct GlobalEdfSim {
     /// Deadline misses per task (isolation experiments need to know *who*
     /// missed).
     misses_by_task: Vec<u64>,
+    /// Last run of each task: `(slot, job, processor)` — drives the
+    /// preemption/migration accounting.
+    last_run: Vec<Option<(Slot, u64, usize)>>,
     now: Slot,
 }
 
@@ -92,6 +101,7 @@ impl GlobalEdfSim {
             jobs,
             stats: GlobalEdfStats::default(),
             misses_by_task: vec![0; tasks.len()],
+            last_run: vec![None; tasks.len()],
             now: 0,
         }
     }
@@ -118,8 +128,10 @@ impl GlobalEdfSim {
 
     /// Runs slots `now..horizon`; returns accumulated statistics.
     pub fn run(&mut self, horizon: Slot) -> GlobalEdfStats {
-        // Scratch: indices of pending jobs sorted by (deadline, task).
+        // Scratch: indices of pending jobs sorted by (deadline, task),
+        // and per-slot processor occupancy for affinity dispatch.
         let mut pending: Vec<usize> = Vec::with_capacity(self.tasks.len());
+        let mut taken: Vec<bool> = vec![false; self.m];
         while self.now < horizon {
             let t = self.now;
             // Job roll-over at period boundaries.
@@ -152,6 +164,39 @@ impl GlobalEdfSim {
             );
             pending.sort_unstable_by_key(|&i| (self.jobs[i].deadline, i));
             let chosen = pending.len().min(self.m);
+            // A descheduled-but-incomplete job that ran (as the same job)
+            // in the previous slot was preempted.
+            for &i in &pending[chosen..] {
+                if self.last_run[i].is_some_and(|(s, j, _)| s + 1 == t && j == self.jobs[i].job) {
+                    self.stats.preemptions += 1;
+                }
+            }
+            // Affinity dispatch: keep the previous processor when free
+            // (first pass, in deadline order), then fill the lowest free
+            // processors; a task that resumes elsewhere migrated.
+            taken.iter_mut().for_each(|b| *b = false);
+            for &i in &pending[..chosen] {
+                if let Some((_, _, p)) = self.last_run[i] {
+                    if !taken[p] {
+                        taken[p] = true;
+                        self.last_run[i] = Some((t, self.jobs[i].job, p));
+                    }
+                }
+            }
+            let mut free = 0usize;
+            for &i in &pending[..chosen] {
+                if self.last_run[i].is_some_and(|(s, _, _)| s == t) {
+                    continue; // kept its processor above
+                }
+                while taken[free] {
+                    free += 1;
+                }
+                taken[free] = true;
+                if self.last_run[i].is_some_and(|(_, _, p)| p != free) {
+                    self.stats.migrations += 1;
+                }
+                self.last_run[i] = Some((t, self.jobs[i].job, free));
+            }
             for &i in &pending[..chosen] {
                 let js = &mut self.jobs[i];
                 js.remaining -= 1;
@@ -241,6 +286,27 @@ mod tests {
         let mut sim = GlobalEdfSim::new(&set, 2);
         let stats = sim.run(100);
         assert_eq!(stats.allocated_quanta + stats.idle_quanta, 200);
+    }
+
+    #[test]
+    fn no_migrations_on_one_processor() {
+        let set = TaskSet::from_pairs([(1u64, 2u64), (2, 6), (1, 6)]).unwrap();
+        let mut sim = GlobalEdfSim::new(&set, 1);
+        let stats = sim.run(600);
+        assert_eq!(stats.migrations, 0);
+        // (2, 6) is interleaved by the tighter (1, 2) deadlines.
+        assert!(stats.preemptions > 0);
+    }
+
+    #[test]
+    fn affinity_keeps_uncontended_tasks_put() {
+        // Two tasks on two processors: each keeps its processor forever.
+        let set = TaskSet::from_pairs([(1u64, 2u64), (2, 3)]).unwrap();
+        let mut sim = GlobalEdfSim::new(&set, 2);
+        let stats = sim.run(600);
+        assert_eq!(stats.preemptions, 0);
+        assert_eq!(stats.migrations, 0);
+        assert_eq!(stats.deadline_misses, 0);
     }
 
     #[test]

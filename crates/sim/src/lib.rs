@@ -13,11 +13,16 @@
 //!   per-subtask window containment.
 //! * [`global_edf`] — job-level global EDF on `M` processors, exhibiting
 //!   the Dhall effect \[13\] that motivates Pfair scheduling (Section 1).
+//! * [`exact_gedf`] — the exact (Goossens–Yomsi) global-EDF
+//!   schedulability test over one hyperperiod, plus the sufficient
+//!   Goossens–Funk–Baruah utilization bound, for the scheduler
+//!   tournament's acceptance columns.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod engine;
+pub mod exact_gedf;
 pub mod global_edf;
 pub mod partitioned;
 pub mod render;
@@ -26,6 +31,10 @@ pub mod verify;
 pub mod wrr;
 
 pub use engine::{FaultHook, FaultMetrics, MultiSim, RecoveryHook, RunMetrics, SlotFaults};
+pub use exact_gedf::{
+    exact_gedf_schedulable, gedf_utilization_bound_schedulable, hyperperiod,
+    try_exact_gedf_schedulable, HyperperiodOverflow,
+};
 pub use global_edf::GlobalEdfSim;
 pub use partitioned::{PartitionedSim, PartitionedStats};
 pub use render::{render_schedule, render_task_windows};

@@ -33,6 +33,13 @@ fn total_utilization(tasks: &[(u64, u64)]) -> Rat {
 
 /// The Liu–Layland RM utilization bound `n(2^{1/n} − 1)` for `n` tasks.
 /// Approaches `ln 2 ≈ 0.693` as `n → ∞`.
+///
+/// `n = 0` returns 1.0: the bound is vacuous for an empty set (there is
+/// nothing to schedule, so *any* utilization budget up to the whole
+/// processor is acceptable), and the formula itself would be `0 · (2^∞ −
+/// 1) = ∞·0`. Returning 1.0 — the `n = 1` value — keeps the bound
+/// monotonically non-increasing in `n` and keeps
+/// [`rm_ll_schedulable`]`(&[])` true without a NaN detour.
 pub fn rm_ll_bound(n: usize) -> f64 {
     if n == 0 {
         return 1.0;
@@ -42,7 +49,13 @@ pub fn rm_ll_bound(n: usize) -> f64 {
 }
 
 /// Sufficient RM test via the Liu–Layland bound.
+///
+/// The empty set is vacuously schedulable — guarded explicitly so the
+/// verdict cannot drift if [`rm_ll_bound`]'s `n = 0` convention changes.
 pub fn rm_ll_schedulable(tasks: &[(u64, u64)]) -> bool {
+    if tasks.is_empty() {
+        return true;
+    }
     let u: f64 = tasks.iter().map(|&(e, p)| e as f64 / p as f64).sum();
     u <= rm_ll_bound(tasks.len()) + 1e-12
 }
@@ -113,6 +126,16 @@ mod tests {
         // n → ∞ limit is ln 2.
         assert!((rm_ll_bound(100_000) - std::f64::consts::LN_2).abs() < 1e-4);
         assert_eq!(rm_ll_bound(0), 1.0);
+    }
+
+    #[test]
+    fn empty_set_is_vacuously_schedulable_everywhere() {
+        // Every acceptance test must agree on the n = 0 edge — a bin
+        // packer probes empty processors constantly.
+        assert!(rm_ll_schedulable(&[]));
+        assert!(rm_hyperbolic_schedulable(&[]));
+        assert!(rm_exact_schedulable(&[]));
+        assert!(edf_schedulable(&[]));
     }
 
     #[test]
