@@ -6,8 +6,15 @@
 //! admitctl --socket S reweight --task 3 --wcet-us 2000 --period-us 10000
 //! admitctl --socket S stats
 //! admitctl --socket S watch [--frames 10]
+//! admitctl --socket S create-set --set alpha
+//! admitctl --socket S drop-set --set alpha
+//! admitctl --socket S list-sets
 //! admitctl --socket S shutdown
 //! ```
+//!
+//! `--tcp <addr:port>` targets a TCP daemon instead of `--socket <path>`.
+//! `--set <name>` aims join/leave/reweight/stats/watch at a task-set
+//! shard (default: the daemon's `default` set).
 //!
 //! Exit codes: 0 = the daemon said yes (admitted/left/stats/...),
 //! 1 = the daemon said no (rejected or error reply, daemon died),
@@ -15,21 +22,32 @@
 //! JSON on stdout so scripts can parse it.
 
 use daemon::cli::Cli;
-use daemon::client::DaemonClient;
+use daemon::client::{DaemonAddr, DaemonClient};
 use daemon::proto::{Status, StreamKind};
+use std::path::PathBuf;
 
-const USAGE: &str = "admitctl --socket <path> <join|leave|reweight|stats|watch|shutdown> [options]";
+const USAGE: &str = "admitctl (--socket <path> | --tcp <addr:port>) \
+                     <join|leave|reweight|stats|watch|create-set|drop-set|list-sets|shutdown> \
+                     [--set <name>] [options]";
 
 fn main() {
     let cli = Cli::parse();
-    let socket = cli.require("socket", USAGE);
-    let mut client = match DaemonClient::connect(socket) {
-        Ok(c) => c,
-        Err(e) => {
-            eprintln!("admitctl: connecting to {socket}: {e}");
+    let addr = match (cli.get("socket"), cli.get("tcp")) {
+        (Some(path), None) => DaemonAddr::Unix(PathBuf::from(path)),
+        (None, Some(addr)) => DaemonAddr::Tcp(addr.to_string()),
+        _ => {
+            eprintln!("usage: {USAGE}");
             std::process::exit(2);
         }
     };
+    let mut client = match DaemonClient::connect_to(&addr) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("admitctl: connecting to {addr:?}: {e}");
+            std::process::exit(2);
+        }
+    };
+    client.set_scope(cli.get("set"));
 
     let cmd = cli.positional(0).unwrap_or_else(|| {
         eprintln!("usage: {USAGE}");
@@ -62,6 +80,9 @@ fn main() {
                 .unwrap_or_else(bad("period-us")),
         ),
         "stats" => client.stats(),
+        "create-set" => client.create_set(cli.require("set", USAGE)),
+        "drop-set" => client.drop_set(cli.require("set", USAGE)),
+        "list-sets" => client.list_sets(),
         "shutdown" => client.shutdown(),
         "watch" => {
             let frames: u64 = cli.get_or("frames", 10);
@@ -84,8 +105,10 @@ fn main() {
     match reply.status {
         Status::Admitted => {
             println!(
-                "admitted task={} weight={}/{} quanta={} period_quanta={} first_release={} slot={}",
+                "admitted task={} set={} weight={}/{} quanta={} period_quanta={} \
+                 first_release={} slot={}",
                 reply.task.unwrap_or(0),
+                reply.set.as_deref().unwrap_or("default"),
                 reply.weight_num.unwrap_or(0),
                 reply.weight_den.unwrap_or(0),
                 reply.quanta.unwrap_or(0),
@@ -96,20 +119,33 @@ fn main() {
         }
         Status::Left => {
             println!(
-                "left task={} free_at={} slot={}",
+                "left task={} set={} free_at={} slot={}",
                 reply.task.unwrap_or(0),
+                reply.set.as_deref().unwrap_or("default"),
                 reply.free_at.unwrap_or(0),
                 reply.slot,
             );
         }
         Status::Stats => {
             eprintln!(
-                "slot={} tasks={} weight_ppm={}",
+                "set={} slot={} tasks={} weight_ppm={}",
+                reply.set.as_deref().unwrap_or("default"),
                 reply.slot,
                 reply.task_count.unwrap_or(0),
                 reply.weight_ppm.unwrap_or(0),
             );
             println!("{}", reply.snapshot.unwrap_or_else(|| "{}".to_string()));
+        }
+        Status::SetCreated => {
+            println!("created set={}", reply.set.as_deref().unwrap_or("?"));
+        }
+        Status::SetDropped => {
+            println!("dropped set={}", reply.set.as_deref().unwrap_or("?"));
+        }
+        Status::SetList => {
+            for name in reply.sets.unwrap_or_default() {
+                println!("{name}");
+            }
         }
         Status::ShuttingDown => println!("daemon shutting down (slot={})", reply.slot),
         Status::Rejected => {
@@ -153,19 +189,20 @@ fn watch(client: DaemonClient, frames: u64) {
     while seen < frames {
         match sub.next() {
             Ok(msg) => {
+                let set = msg.set.as_deref().unwrap_or("default").to_string();
                 match msg.kind {
                     StreamKind::Decision => println!(
-                        "slot={} scheduled={:?}",
+                        "set={set} slot={} scheduled={:?}",
                         msg.slot,
                         msg.scheduled.unwrap_or_default()
                     ),
                     StreamKind::Snapshot => println!(
-                        "slot={} snapshot={}",
+                        "set={set} slot={} snapshot={}",
                         msg.slot,
                         msg.snapshot.unwrap_or_default()
                     ),
                     StreamKind::Bye => {
-                        println!("daemon said goodbye (slot={})", msg.slot);
+                        println!("daemon said goodbye (set={set} slot={})", msg.slot);
                         return;
                     }
                 }

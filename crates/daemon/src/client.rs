@@ -1,27 +1,40 @@
 //! Client side of the admission protocol: what host processes link.
 //!
-//! [`DaemonClient`] wraps one connection. The simple wrappers
-//! ([`DaemonClient::join`] etc.) are call/response; [`DaemonClient::send`]
-//! / [`DaemonClient::recv`] expose the two halves so open-loop load
-//! generators can keep a window of requests in flight. Every read carries
-//! a timeout, and a daemon that dies mid-stream (SIGKILL included)
-//! surfaces as [`ClientError::Disconnected`] — never a hang.
+//! [`DaemonClient`] wraps one connection — Unix-domain or TCP, chosen by
+//! [`DaemonAddr`]. The simple wrappers ([`DaemonClient::join`] etc.) are
+//! call/response; [`DaemonClient::send`] / [`DaemonClient::recv`] expose
+//! the two halves so open-loop load generators can keep a window of
+//! requests in flight. [`DaemonClient::set_scope`] aims the wrappers at a
+//! named task-set shard (`None` = the daemon's `default` set).
+//!
+//! Every read carries a timeout, and failures come back *classified*: a
+//! daemon that dies mid-stream (SIGKILL included) surfaces as
+//! [`ClientError::Disconnected`], a corrupt stream as
+//! [`ClientError::MalformedFrame`], a stall as [`ClientError::TimedOut`]
+//! — never a hang, and never a raw `read_exact` "failed to fill whole
+//! buffer" message.
 
-use crate::proto::{read_frame, write_frame, Op, Reply, Request, Status, StreamMsg};
+use crate::proto::{read_frame, write_frame, FrameError, Op, Reply, Request, Status, StreamMsg};
 use std::fmt;
-use std::io;
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
 use std::os::unix::net::UnixStream;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::time::{Duration, Instant};
 
 /// Why a client call failed.
 #[derive(Debug)]
 pub enum ClientError {
-    /// Transport error (includes read timeouts).
+    /// Transport error other than the classified cases below.
     Io(io::Error),
     /// The daemon closed the connection (or was killed) while a reply
     /// was outstanding.
     Disconnected,
+    /// The read timed out with the daemon still connected.
+    TimedOut,
+    /// The byte stream is corrupt (bad length prefix / non-UTF-8); the
+    /// connection cannot be resynchronized.
+    MalformedFrame(String),
     /// The daemon answered something unintelligible.
     Protocol(String),
 }
@@ -31,6 +44,8 @@ impl fmt::Display for ClientError {
         match self {
             ClientError::Io(e) => write!(f, "transport error: {e}"),
             ClientError::Disconnected => write!(f, "daemon closed the connection"),
+            ClientError::TimedOut => write!(f, "timed out waiting for the daemon"),
+            ClientError::MalformedFrame(m) => write!(f, "malformed frame from daemon: {m}"),
             ClientError::Protocol(msg) => write!(f, "protocol error: {msg}"),
         }
     }
@@ -44,37 +59,131 @@ impl From<io::Error> for ClientError {
     }
 }
 
+impl From<FrameError> for ClientError {
+    fn from(e: FrameError) -> Self {
+        match e {
+            // From a client's perspective a clean close with a reply
+            // outstanding is still a disconnect.
+            FrameError::Closed | FrameError::Disconnected => ClientError::Disconnected,
+            FrameError::TimedOut { .. } => ClientError::TimedOut,
+            FrameError::Malformed(m) => ClientError::MalformedFrame(m),
+            FrameError::Io(e) => ClientError::Io(e),
+        }
+    }
+}
+
+/// Where the daemon lives.
+#[derive(Debug, Clone)]
+pub enum DaemonAddr {
+    /// Unix-domain socket path.
+    Unix(PathBuf),
+    /// TCP address, e.g. `127.0.0.1:7133`.
+    Tcp(String),
+}
+
+/// One transport stream, either flavor. Both ends expose the identical
+/// framing, so everything above this enum is transport-agnostic.
+enum Stream {
+    Unix(UnixStream),
+    Tcp(TcpStream),
+}
+
+impl Stream {
+    fn set_read_timeout(&self, t: Option<Duration>) -> io::Result<()> {
+        match self {
+            Stream::Unix(s) => s.set_read_timeout(t),
+            Stream::Tcp(s) => s.set_read_timeout(t),
+        }
+    }
+}
+
+impl Read for Stream {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            Stream::Unix(s) => s.read(buf),
+            Stream::Tcp(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Stream {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self {
+            Stream::Unix(s) => s.write(buf),
+            Stream::Tcp(s) => s.write(buf),
+        }
+    }
+    fn flush(&mut self) -> io::Result<()> {
+        match self {
+            Stream::Unix(s) => s.flush(),
+            Stream::Tcp(s) => s.flush(),
+        }
+    }
+}
+
 /// One connection to the admission daemon.
 pub struct DaemonClient {
-    stream: UnixStream,
+    stream: Stream,
     next_nonce: u64,
+    /// Task-set shard the convenience wrappers target (`None` = default).
+    scope: Option<String>,
 }
 
 impl DaemonClient {
-    /// Connects, with a default 10 s read timeout.
+    /// Connects over a Unix socket, with a default 10 s read timeout.
     pub fn connect<P: AsRef<Path>>(socket: P) -> io::Result<DaemonClient> {
-        let stream = UnixStream::connect(socket)?;
+        Self::connect_to(&DaemonAddr::Unix(socket.as_ref().to_path_buf()))
+    }
+
+    /// Connects over TCP, with a default 10 s read timeout.
+    pub fn connect_tcp(addr: impl Into<String>) -> io::Result<DaemonClient> {
+        Self::connect_to(&DaemonAddr::Tcp(addr.into()))
+    }
+
+    /// Connects to either transport, with a default 10 s read timeout.
+    pub fn connect_to(addr: &DaemonAddr) -> io::Result<DaemonClient> {
+        let stream = match addr {
+            DaemonAddr::Unix(path) => Stream::Unix(UnixStream::connect(path)?),
+            DaemonAddr::Tcp(addr) => {
+                let s = TcpStream::connect(addr.as_str())?;
+                let _ = s.set_nodelay(true);
+                Stream::Tcp(s)
+            }
+        };
         stream.set_read_timeout(Some(Duration::from_secs(10)))?;
         Ok(DaemonClient {
             stream,
             next_nonce: 1,
+            scope: None,
         })
     }
 
-    /// Connects, retrying until `deadline` elapses — for racing a daemon
-    /// that is still binding its socket.
+    /// Connects over a Unix socket, retrying until `deadline` elapses —
+    /// for racing a daemon that is still binding its socket.
     pub fn connect_retry<P: AsRef<Path>>(
         socket: P,
         deadline: Duration,
     ) -> io::Result<DaemonClient> {
+        Self::connect_to_retry(&DaemonAddr::Unix(socket.as_ref().to_path_buf()), deadline)
+    }
+
+    /// Connects to either transport, retrying until `deadline` elapses.
+    pub fn connect_to_retry(addr: &DaemonAddr, deadline: Duration) -> io::Result<DaemonClient> {
         let start = Instant::now();
         loop {
-            match Self::connect(socket.as_ref()) {
+            match Self::connect_to(addr) {
                 Ok(c) => return Ok(c),
                 Err(e) if start.elapsed() >= deadline => return Err(e),
                 Err(_) => std::thread::sleep(Duration::from_millis(10)),
             }
         }
+    }
+
+    /// Aims the convenience wrappers (join/leave/…) at task-set shard
+    /// `set`. `None` targets the daemon's `default` set (the wire
+    /// default, so pre-multi-set daemons keep working).
+    pub fn set_scope(&mut self, set: Option<impl Into<String>>) {
+        self.scope = set.map(Into::into);
     }
 
     /// Overrides the read timeout (`None` blocks forever).
@@ -86,6 +195,14 @@ impl DaemonClient {
         let n = self.next_nonce;
         self.next_nonce += 1;
         n
+    }
+
+    /// Applies the connection's scope to a wrapper-built request.
+    fn scoped(&self, req: Request) -> Request {
+        match &self.scope {
+            Some(set) => req.with_set(set.clone()),
+            None => req,
+        }
     }
 
     /// Sends a request without waiting for its reply (pipelining half).
@@ -101,14 +218,7 @@ impl DaemonClient {
             Ok(Some(json)) => serde_json::from_str(&json)
                 .map_err(|e| ClientError::Protocol(format!("bad reply: {e}"))),
             Ok(None) => Err(ClientError::Disconnected),
-            Err(e)
-                if e.kind() == io::ErrorKind::UnexpectedEof
-                    || e.kind() == io::ErrorKind::ConnectionReset
-                    || e.kind() == io::ErrorKind::BrokenPipe =>
-            {
-                Err(ClientError::Disconnected)
-            }
-            Err(e) => Err(ClientError::Io(e)),
+            Err(e) => Err(e.into()),
         }
     }
 
@@ -128,13 +238,15 @@ impl DaemonClient {
     /// Requests admission of (`wcet_us`, `period_us`).
     pub fn join(&mut self, wcet_us: u64, period_us: u64) -> Result<Reply, ClientError> {
         let n = self.nonce();
-        self.call(&Request::join(n, wcet_us, period_us))
+        let req = self.scoped(Request::join(n, wcet_us, period_us));
+        self.call(&req)
     }
 
     /// Requests departure of `task`.
     pub fn leave(&mut self, task: u32) -> Result<Reply, ClientError> {
         let n = self.nonce();
-        self.call(&Request::leave(n, task))
+        let req = self.scoped(Request::leave(n, task));
+        self.call(&req)
     }
 
     /// Requests a reweight of `task` to (`wcet_us`, `period_us`).
@@ -145,13 +257,33 @@ impl DaemonClient {
         period_us: u64,
     ) -> Result<Reply, ClientError> {
         let n = self.nonce();
-        self.call(&Request::reweight(n, task, wcet_us, period_us))
+        let req = self.scoped(Request::reweight(n, task, wcet_us, period_us));
+        self.call(&req)
     }
 
-    /// Fetches scheduler stats and a metrics snapshot.
+    /// Fetches the scoped set's stats and a metrics snapshot.
     pub fn stats(&mut self) -> Result<Reply, ClientError> {
         let n = self.nonce();
-        self.call(&Request::bare(Op::Stats, n))
+        let req = self.scoped(Request::bare(Op::Stats, n));
+        self.call(&req)
+    }
+
+    /// Creates an independent task-set shard named `set`.
+    pub fn create_set(&mut self, set: impl Into<String>) -> Result<Reply, ClientError> {
+        let n = self.nonce();
+        self.call(&Request::bare(Op::CreateSet, n).with_set(set))
+    }
+
+    /// Tears down task-set shard `set`.
+    pub fn drop_set(&mut self, set: impl Into<String>) -> Result<Reply, ClientError> {
+        let n = self.nonce();
+        self.call(&Request::bare(Op::DropSet, n).with_set(set))
+    }
+
+    /// Lists the daemon's live task-set shards.
+    pub fn list_sets(&mut self) -> Result<Reply, ClientError> {
+        let n = self.nonce();
+        self.call(&Request::bare(Op::ListSets, n))
     }
 
     /// Asks the daemon to shut down cleanly.
@@ -160,10 +292,12 @@ impl DaemonClient {
         self.call(&Request::bare(Op::Shutdown, n))
     }
 
-    /// Switches this connection to the decision/snapshot stream.
+    /// Switches this connection to the scoped set's decision/snapshot
+    /// stream.
     pub fn subscribe(mut self) -> Result<Subscription, ClientError> {
         let n = self.nonce();
-        let reply = self.call(&Request::bare(Op::Subscribe, n))?;
+        let req = self.scoped(Request::bare(Op::Subscribe, n));
+        let reply = self.call(&req)?;
         if reply.status != Status::Subscribed {
             return Err(ClientError::Protocol(format!(
                 "subscribe refused: {:?}",
@@ -183,7 +317,7 @@ impl DaemonClient {
 
 /// A connection switched to the stream; yields [`StreamMsg`] frames.
 pub struct Subscription {
-    stream: UnixStream,
+    stream: Stream,
 }
 
 impl Subscription {
@@ -197,13 +331,7 @@ impl Subscription {
             Ok(Some(json)) => serde_json::from_str(&json)
                 .map_err(|e| ClientError::Protocol(format!("bad stream frame: {e}"))),
             Ok(None) => Err(ClientError::Disconnected),
-            Err(e)
-                if e.kind() == io::ErrorKind::UnexpectedEof
-                    || e.kind() == io::ErrorKind::ConnectionReset =>
-            {
-                Err(ClientError::Disconnected)
-            }
-            Err(e) => Err(ClientError::Io(e)),
+            Err(e) => Err(e.into()),
         }
     }
 

@@ -28,11 +28,12 @@
 //! after the safe point is rejected now and can simply retry.
 
 use crate::alloc_probe;
-use crate::proto::{Reply, Request, Status};
+use crate::proto::{Reply, Request, Status, DEFAULT_SET};
 use overhead::{inflate_pd2, InflateError, OverheadParams};
 use pfair_core::{NoDelay, SchedConfig};
 use pfair_model::{PhysTask, Slot, Task, TaskId, TaskSet, Weight};
 use sched_sim::{MultiSim, ScheduleTrace, TraceEvent};
+use std::collections::BTreeMap;
 
 /// Static configuration of one admission core.
 #[derive(Debug, Clone)]
@@ -540,6 +541,154 @@ impl AdmissionCore {
     }
 }
 
+/// One set's lifetime summary, reported at drop or shutdown.
+pub struct SetReport {
+    /// The set's name.
+    pub name: String,
+    /// Slots this set simulated.
+    pub slots: u64,
+    /// (admitted, rejected, left, reweighted) totals.
+    pub counts: (u64, u64, u64, u64),
+    /// The set's full schedule trace (when `record_trace` was on).
+    pub trace: Option<ScheduleTrace>,
+    /// Whether the set was dropped before shutdown (disambiguates a
+    /// re-created name in the final report).
+    pub dropped: bool,
+}
+
+/// A `SetId`-keyed registry of independent admission cores — one live
+/// `MultiSim` + scheduler per task-set shard, all built from the same
+/// [`CoreConfig`] template.
+///
+/// Sets are fully isolated: each has its own slot counter, weight sum,
+/// batch scratch, and schedule trace, and each decides its batches in
+/// the canonical order *within* the set while sets advance
+/// independently. The registry always starts with (and re-admits
+/// requests that name no set into) the [`DEFAULT_SET`].
+pub struct SetRegistry {
+    template: CoreConfig,
+    max_sets: usize,
+    recorder: obs::Recorder,
+    sets: BTreeMap<String, AdmissionCore>,
+    /// Reports of dropped sets, in drop order, kept for the shutdown
+    /// report so a dropped set's trace still window-verifies offline.
+    dropped: Vec<SetReport>,
+}
+
+impl SetRegistry {
+    /// A registry with just the default set. Every core (present and
+    /// future) reports into `recorder`.
+    pub fn new(template: CoreConfig, max_sets: usize, recorder: &obs::Recorder) -> Self {
+        let mut reg = SetRegistry {
+            template,
+            max_sets: max_sets.max(1),
+            recorder: recorder.clone(),
+            sets: BTreeMap::new(),
+            dropped: Vec::new(),
+        };
+        reg.insert(DEFAULT_SET.to_string());
+        reg
+    }
+
+    fn insert(&mut self, name: String) {
+        let mut core = AdmissionCore::new(self.template.clone());
+        core.set_recorder(&self.recorder);
+        self.sets.insert(name, core);
+    }
+
+    /// Validates a client-supplied set name: path-safe (it becomes part
+    /// of trace file names), bounded, non-empty.
+    pub fn valid_name(name: &str) -> Result<(), String> {
+        if name.is_empty() || name.len() > 64 {
+            return Err("set name must be 1..=64 characters".to_string());
+        }
+        if !name
+            .bytes()
+            .all(|b| b.is_ascii_alphanumeric() || b == b'-' || b == b'_' || b == b'.')
+        {
+            return Err("set name may only contain [A-Za-z0-9._-]".to_string());
+        }
+        if name.starts_with('.') {
+            return Err("set name may not start with '.'".to_string());
+        }
+        Ok(())
+    }
+
+    /// Creates an empty set named `name`.
+    pub fn create(&mut self, name: &str) -> Result<(), String> {
+        Self::valid_name(name)?;
+        if self.sets.contains_key(name) {
+            return Err(format!("set `{name}` already exists"));
+        }
+        if self.sets.len() >= self.max_sets {
+            return Err(format!(
+                "set limit reached ({} of {} live)",
+                self.sets.len(),
+                self.max_sets
+            ));
+        }
+        self.insert(name.to_string());
+        Ok(())
+    }
+
+    /// Tears down set `name`, retaining its report (and trace) for the
+    /// shutdown summary. The default set is droppable too — requests
+    /// naming no set then fail with "no such set" until it is recreated.
+    pub fn drop_set(&mut self, name: &str) -> Result<(), String> {
+        let core = self
+            .sets
+            .remove(name)
+            .ok_or_else(|| format!("no such set `{name}`"))?;
+        self.dropped.push(Self::report_of(name, &core, true));
+        Ok(())
+    }
+
+    fn report_of(name: &str, core: &AdmissionCore, dropped: bool) -> SetReport {
+        SetReport {
+            name: name.to_string(),
+            slots: core.slot(),
+            counts: core.counts(),
+            trace: core.trace(),
+            dropped,
+        }
+    }
+
+    /// The core serving set `name`, if live.
+    pub fn get_mut(&mut self, name: &str) -> Option<&mut AdmissionCore> {
+        self.sets.get_mut(name)
+    }
+
+    /// Live set names, sorted.
+    pub fn names(&self) -> Vec<String> {
+        self.sets.keys().cloned().collect()
+    }
+
+    /// Number of live sets.
+    pub fn len(&self) -> usize {
+        self.sets.len()
+    }
+
+    /// Whether no sets are live (possible once `default` is dropped).
+    pub fn is_empty(&self) -> bool {
+        self.sets.is_empty()
+    }
+
+    /// Iterates live sets in name order.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = (&str, &mut AdmissionCore)> {
+        self.sets.iter_mut().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Consumes the registry into per-set reports: dropped sets first
+    /// (in drop order), then the live ones (sorted by name).
+    pub fn into_reports(mut self) -> Vec<SetReport> {
+        let mut reports = std::mem::take(&mut self.dropped);
+        for (name, core) in &self.sets {
+            reports.push(Self::report_of(name, core, false));
+        }
+        reports
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -729,6 +878,7 @@ mod tests {
                 Request {
                     op: Op::Join,
                     nonce: 1,
+                    set: None,
                     task: None,
                     wcet_us: Some(1_000),
                     period_us: None,
@@ -748,6 +898,64 @@ mod tests {
         let replies = decide(&mut c, vec![Request::join(1, 100, 1_500)]);
         assert_eq!(replies[0].status, Status::Rejected);
         assert!(replies[0].error.as_deref().unwrap().contains("quantum"));
+    }
+
+    #[test]
+    fn registry_sets_are_isolated_and_advance_independently() {
+        let mut cfg = CoreConfig::new(1);
+        cfg.params = OverheadParams::zero();
+        let rec = obs::Recorder::disabled();
+        let mut reg = SetRegistry::new(cfg, 8, &rec);
+        reg.create("alpha").expect("create alpha");
+        assert_eq!(
+            reg.names(),
+            vec!["alpha".to_string(), "default".to_string()]
+        );
+
+        // Each set has its own M=1 capacity: a full-processor task fits
+        // in *both* — weight sums never cross sets.
+        for set in ["default", "alpha"] {
+            let core = reg.get_mut(set).expect("live set");
+            let replies = decide(core, vec![Request::join(1, 4_000, 4_000)]);
+            assert_eq!(replies[0].status, Status::Admitted, "set {set}");
+        }
+        // Only the default set steps further: slots diverge.
+        for _ in 0..10 {
+            reg.get_mut("default").unwrap().step();
+        }
+        assert_eq!(reg.get_mut("alpha").unwrap().slot(), 1);
+        assert_eq!(reg.get_mut("default").unwrap().slot(), 11);
+
+        // Duplicate create and unknown drop both refuse with a reason.
+        assert!(reg.create("alpha").is_err());
+        assert!(reg.drop_set("nope").is_err());
+        // Dropping keeps the report (and its verified trace) around.
+        reg.drop_set("alpha").expect("drop alpha");
+        assert!(reg.get_mut("alpha").is_none());
+        let reports = reg.into_reports();
+        assert_eq!(reports.len(), 2);
+        let alpha = reports.iter().find(|r| r.name == "alpha").unwrap();
+        assert!(alpha.dropped);
+        alpha
+            .trace
+            .as_ref()
+            .expect("dropped set keeps its trace")
+            .verify()
+            .expect("dropped set's trace window-verifies");
+    }
+
+    #[test]
+    fn registry_rejects_bad_names_and_enforces_the_cap() {
+        let mut cfg = CoreConfig::new(1);
+        cfg.params = OverheadParams::zero();
+        let rec = obs::Recorder::disabled();
+        let mut reg = SetRegistry::new(cfg, 2, &rec);
+        for bad in ["", "a/b", "..", ".hidden", "x".repeat(65).as_str(), "a b"] {
+            assert!(reg.create(bad).is_err(), "name {bad:?} must be refused");
+        }
+        reg.create("ok-1").expect("fits under the cap");
+        let err = reg.create("ok-2").expect_err("cap of 2 is enforced");
+        assert!(err.contains("limit"), "{err}");
     }
 
     #[test]

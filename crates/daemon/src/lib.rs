@@ -2,13 +2,15 @@
 //!
 //! The batch sweeps in `crates/experiments` exercise the §5.2 join/leave
 //! protocol offline; this crate puts the same machinery under *live*
-//! traffic. A long-running daemon owns a [`MultiSim`](sched_sim::MultiSim)
-//! plus PD² scheduler, accepts task join/leave/reweight requests over a
-//! Unix-domain socket, runs the overhead-aware admission test
-//! (Equation (3) inflation + the Σwt ≤ M feasibility bound), and replies
-//! admit/reject with the computed weight and first pseudo-release.
-//! Requests arriving within one quantum are decided together against a
-//! single schedulability evaluation, and the evaluation pass is
+//! traffic. A long-running daemon owns a registry of independent
+//! task-set shards — each one a [`MultiSim`](sched_sim::MultiSim) plus
+//! PD² scheduler — accepts task join/leave/reweight requests over a
+//! Unix-domain socket or TCP, runs the overhead-aware admission test
+//! (Equation (3) inflation + the Σwt ≤ M feasibility bound) per set, and
+//! replies admit/reject with the computed weight and first
+//! pseudo-release. Requests arriving within one quantum are decided
+//! together against a single schedulability evaluation *within their
+//! set* (sets advance independently), and the evaluation pass is
 //! allocation-free (scratch buffers sized at startup).
 //!
 //! Layout mirrors a narrow-kernel process split: [`proto`] is the whole
@@ -23,9 +25,9 @@ pub mod core;
 pub mod proto;
 pub mod server;
 
-pub use crate::core::{AdmissionCore, CoreConfig};
-pub use client::{ClientError, DaemonClient};
-pub use server::{Pace, RunReport, ServerConfig};
+pub use crate::core::{AdmissionCore, CoreConfig, SetRegistry, SetReport};
+pub use client::{ClientError, DaemonAddr, DaemonClient};
+pub use server::{bind, run, Bind, BoundServer, Pace, RunReport, ServerConfig};
 
 /// Instrumentation bracketing the allocation-free admission fast path.
 ///

@@ -1,4 +1,5 @@
-//! Wire protocol: length-prefixed JSON frames over a Unix-domain socket.
+//! Wire protocol: length-prefixed JSON frames over a Unix-domain or TCP
+//! stream.
 //!
 //! Every message is a 4-byte little-endian length followed by that many
 //! bytes of JSON. The schema is deliberately narrow — flat structs with
@@ -11,14 +12,30 @@
 //! daemon owns the overhead model and quantization, and replies with the
 //! inflated weight and window parameters it actually admitted. A client
 //! never sees — and cannot forge — scheduler-internal state.
+//!
+//! Every request may carry a `set` naming the task-set shard it targets;
+//! a missing `set` means the `default` set, so pre-multi-set clients keep
+//! working unchanged (the vendored serde treats a missing field as
+//! `null`, which only `Option` fields accept).
+//!
+//! Framing errors are *classified*, not passed through as raw I/O:
+//! [`FrameError`] distinguishes a peer that closed cleanly between frames
+//! from one that died mid-frame ([`FrameError::Disconnected`]), a corrupt
+//! or oversized frame ([`FrameError::Malformed`]), and a read timeout —
+//! so clients can exit with their documented codes instead of surfacing
+//! `read_exact`'s "failed to fill whole buffer".
 
 use serde::{Deserialize, Serialize};
+use std::fmt;
 use std::io::{self, Read, Write};
 
 /// Frames larger than this are rejected as corrupt before any buffer is
 /// grown — a garbage length prefix must not look like an allocation
 /// request.
 pub const MAX_FRAME: u32 = 1 << 20;
+
+/// The task-set shard a request targets when it names none.
+pub const DEFAULT_SET: &str = "default";
 
 /// What the client asks the daemon to do.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -31,9 +48,15 @@ pub enum Op {
     Reweight,
     /// Report scheduler state and an `obs` metrics snapshot.
     Stats,
-    /// Switch this connection to the decision/snapshot stream.
+    /// Switch this connection to the decision/snapshot stream of `set`.
     Subscribe,
-    /// Stop the daemon cleanly (drains pending batch first).
+    /// Create an independent task-set shard named `set`.
+    CreateSet,
+    /// Tear down shard `set`; its trace is kept for the shutdown report.
+    DropSet,
+    /// List the live shard names.
+    ListSets,
+    /// Stop the daemon cleanly (drains pending batches first).
     Shutdown,
 }
 
@@ -49,6 +72,9 @@ pub struct Request {
     /// a deterministic within-batch tie-break ahead of the
     /// server-assigned intake index.
     pub nonce: u64,
+    /// Task-set shard this request targets; `None` means
+    /// [`DEFAULT_SET`]. Required (non-`None`) for `CreateSet`/`DropSet`.
+    pub set: Option<String>,
     /// Target task id (`Leave`/`Reweight`).
     pub task: Option<u32>,
     /// Worst-case execution time in µs (`Join`/`Reweight`).
@@ -64,6 +90,7 @@ impl Request {
         Request {
             op: Op::Join,
             nonce,
+            set: None,
             task: None,
             wcet_us: Some(wcet_us),
             period_us: Some(period_us),
@@ -75,6 +102,7 @@ impl Request {
         Request {
             op: Op::Leave,
             nonce,
+            set: None,
             task: Some(task),
             wcet_us: None,
             period_us: None,
@@ -86,21 +114,34 @@ impl Request {
         Request {
             op: Op::Reweight,
             nonce,
+            set: None,
             task: Some(task),
             wcet_us: Some(wcet_us),
             period_us: Some(period_us),
         }
     }
 
-    /// A bare request carrying only an op (Stats/Subscribe/Shutdown).
+    /// A bare request carrying only an op (Stats/Subscribe/Shutdown/…).
     pub fn bare(op: Op, nonce: u64) -> Self {
         Request {
             op,
             nonce,
+            set: None,
             task: None,
             wcet_us: None,
             period_us: None,
         }
+    }
+
+    /// The same request aimed at task-set shard `set`.
+    pub fn with_set(mut self, set: impl Into<String>) -> Self {
+        self.set = Some(set.into());
+        self
+    }
+
+    /// The shard this request targets ([`DEFAULT_SET`] when unset).
+    pub fn set_name(&self) -> &str {
+        self.set.as_deref().unwrap_or(DEFAULT_SET)
     }
 }
 
@@ -117,6 +158,12 @@ pub enum Status {
     Stats,
     /// Connection switched to the stream; [`StreamMsg`] frames follow.
     Subscribed,
+    /// `CreateSet` succeeded; `set` echoes the new shard's name.
+    SetCreated,
+    /// `DropSet` succeeded; `set` echoes the departed shard's name.
+    SetDropped,
+    /// `ListSets` reply; `sets` holds the live shard names (sorted).
+    SetList,
     /// Daemon is shutting down.
     ShuttingDown,
     /// Malformed or inapplicable request; see `error`.
@@ -130,8 +177,12 @@ pub struct Reply {
     pub nonce: u64,
     /// Outcome.
     pub status: Status,
-    /// Slot at which the decision took effect (= the batch's quantum).
+    /// Slot (of the target set) at which the decision took effect.
     pub slot: u64,
+    /// The task-set shard that answered (admission/stats/set ops).
+    pub set: Option<String>,
+    /// `SetList` only: live shard names, sorted.
+    pub sets: Option<Vec<String>>,
     /// Assigned task id (`Admitted`) or the departing id (`Left`).
     pub task: Option<u32>,
     /// Numerator of the admitted (overhead-inflated, quantized) weight.
@@ -149,10 +200,11 @@ pub struct Reply {
     pub free_at: Option<u64>,
     /// Stats only: `obs::Snapshot` JSON.
     pub snapshot: Option<String>,
-    /// Stats only: number of active tasks.
+    /// Stats only: number of active tasks in the target set.
     pub task_count: Option<u64>,
-    /// Stats only: total admitted weight in parts-per-million of one
-    /// processor (`Σwt × 10⁶`, so `processors × 10⁶` is full capacity).
+    /// Stats only: the target set's admitted weight in parts-per-million
+    /// of one processor (`Σwt × 10⁶`, so `processors × 10⁶` is full
+    /// capacity).
     pub weight_ppm: Option<u64>,
     /// Human-readable reason when `status` is `Rejected`/`Error`.
     pub error: Option<String>,
@@ -165,6 +217,8 @@ impl Reply {
             nonce,
             status,
             slot,
+            set: None,
+            sets: None,
             task: None,
             weight_num: None,
             weight_den: None,
@@ -187,7 +241,8 @@ pub enum StreamKind {
     Decision,
     /// A periodic `obs::Recorder` snapshot (JSON in `snapshot`).
     Snapshot,
-    /// The daemon is shutting down; no further frames follow.
+    /// The subscribed set (or the whole daemon) is going away; no
+    /// further frames for it follow.
     Bye,
 }
 
@@ -196,12 +251,69 @@ pub enum StreamKind {
 pub struct StreamMsg {
     /// What this frame carries.
     pub kind: StreamKind,
-    /// Slot the frame describes.
+    /// Slot (of `set`) the frame describes.
     pub slot: u64,
+    /// The task-set shard the frame describes.
+    pub set: Option<String>,
     /// `Decision`: task ids scheduled in this slot, processor order.
     pub scheduled: Option<Vec<u32>>,
     /// `Snapshot`: recorder snapshot JSON.
     pub snapshot: Option<String>,
+}
+
+/// Why reading a frame failed, classified — transports and clients act
+/// on the class, not on the underlying `io::ErrorKind` zoo.
+#[derive(Debug)]
+pub enum FrameError {
+    /// The peer closed the connection cleanly *between* frames.
+    Closed,
+    /// The peer vanished mid-frame (EOF, reset, broken pipe with a
+    /// partial frame outstanding).
+    Disconnected,
+    /// The stream is corrupt: an oversized length prefix or a frame
+    /// that is not valid UTF-8. Resynchronization is impossible — the
+    /// connection must be dropped.
+    Malformed(String),
+    /// A read timed out; `mid_frame` says whether the peer had started
+    /// (and stalled inside) a frame.
+    TimedOut {
+        /// Whether a partial frame was outstanding when time ran out.
+        mid_frame: bool,
+    },
+    /// Any other transport error.
+    Io(io::Error),
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameError::Closed => write!(f, "peer closed the connection"),
+            FrameError::Disconnected => write!(f, "peer disconnected mid-frame"),
+            FrameError::Malformed(m) => write!(f, "malformed frame: {m}"),
+            FrameError::TimedOut { mid_frame: true } => write!(f, "read timed out mid-frame"),
+            FrameError::TimedOut { mid_frame: false } => write!(f, "read timed out"),
+            FrameError::Io(e) => write!(f, "transport error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// Whether an `io::ErrorKind` means "the read timed out" — both the
+/// nonblocking and the `SO_RCVTIMEO` spellings.
+fn is_timeout(kind: io::ErrorKind) -> bool {
+    matches!(kind, io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut)
+}
+
+/// Whether an `io::ErrorKind` means "the peer is gone".
+fn is_gone(kind: io::ErrorKind) -> bool {
+    matches!(
+        kind,
+        io::ErrorKind::UnexpectedEof
+            | io::ErrorKind::ConnectionReset
+            | io::ErrorKind::ConnectionAborted
+            | io::ErrorKind::BrokenPipe
+    )
 }
 
 /// Writes one length-prefixed frame.
@@ -218,27 +330,108 @@ pub fn write_frame<W: Write>(w: &mut W, json: &str) -> io::Result<()> {
     w.flush()
 }
 
-/// Reads one frame. `Ok(None)` means the peer closed the connection
-/// cleanly *between* frames; a close mid-frame is an error.
-pub fn read_frame<R: Read>(r: &mut R) -> io::Result<Option<String>> {
-    let mut len = [0u8; 4];
-    match r.read_exact(&mut len) {
-        Ok(()) => {}
-        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(None),
-        Err(e) => return Err(e),
+/// Reads one frame, blocking. `Ok(None)` means the peer closed the
+/// connection cleanly *between* frames; every failure mode inside a
+/// frame comes back classified as a [`FrameError`].
+pub fn read_frame<R: Read>(r: &mut R) -> Result<Option<String>, FrameError> {
+    let mut reader = FrameReader::new();
+    match reader.poll(r) {
+        Ok(Some(frame)) => Ok(Some(frame)),
+        // A blocking reader maps would-block to a timeout error: the
+        // socket's read timeout expired.
+        Ok(None) => Err(FrameError::TimedOut {
+            mid_frame: reader.mid_frame(),
+        }),
+        Err(FrameError::Closed) => Ok(None),
+        Err(e) => Err(e),
     }
-    let len = u32::from_le_bytes(len);
-    if len > MAX_FRAME {
-        return Err(io::Error::new(
-            io::ErrorKind::InvalidData,
-            format!("frame length {len} exceeds MAX_FRAME (corrupt stream?)"),
-        ));
+}
+
+/// Incremental frame reader: feeds on a (possibly nonblocking or
+/// timeout-sliced) stream without ever losing partial progress the way a
+/// bare `read_exact` would on `WouldBlock`.
+///
+/// `poll` returns `Ok(Some(frame))` when a frame completes,
+/// `Ok(None)` when the stream would block / timed out with the partial
+/// state retained, and a classified [`FrameError`] otherwise.
+#[derive(Default)]
+pub struct FrameReader {
+    len: [u8; 4],
+    len_got: usize,
+    body: Vec<u8>,
+    body_got: usize,
+    in_body: bool,
+}
+
+impl FrameReader {
+    /// An empty reader, between frames.
+    pub fn new() -> Self {
+        FrameReader::default()
     }
-    let mut buf = vec![0u8; len as usize];
-    r.read_exact(&mut buf)?;
-    String::from_utf8(buf)
-        .map(Some)
-        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+
+    /// Whether a partial frame is outstanding.
+    pub fn mid_frame(&self) -> bool {
+        self.in_body || self.len_got > 0
+    }
+
+    /// Pulls from `r` until a frame completes, the stream would block,
+    /// or the stream fails.
+    pub fn poll<R: Read>(&mut self, r: &mut R) -> Result<Option<String>, FrameError> {
+        loop {
+            if !self.in_body {
+                debug_assert!(self.len_got < 4);
+                match r.read(&mut self.len[self.len_got..]) {
+                    Ok(0) => {
+                        return Err(if self.len_got == 0 {
+                            FrameError::Closed
+                        } else {
+                            FrameError::Disconnected
+                        });
+                    }
+                    Ok(n) => self.len_got += n,
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                    Err(e) if is_timeout(e.kind()) => return Ok(None),
+                    Err(e) if is_gone(e.kind()) => {
+                        return Err(if self.len_got == 0 {
+                            FrameError::Closed
+                        } else {
+                            FrameError::Disconnected
+                        });
+                    }
+                    Err(e) => return Err(FrameError::Io(e)),
+                }
+                if self.len_got < 4 {
+                    continue;
+                }
+                let len = u32::from_le_bytes(self.len);
+                if len > MAX_FRAME {
+                    return Err(FrameError::Malformed(format!(
+                        "frame length {len} exceeds MAX_FRAME ({MAX_FRAME})"
+                    )));
+                }
+                self.in_body = true;
+                self.body = vec![0u8; len as usize];
+                self.body_got = 0;
+            }
+            while self.body_got < self.body.len() {
+                match r.read(&mut self.body[self.body_got..]) {
+                    Ok(0) => return Err(FrameError::Disconnected),
+                    Ok(n) => self.body_got += n,
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                    Err(e) if is_timeout(e.kind()) => return Ok(None),
+                    Err(e) if is_gone(e.kind()) => return Err(FrameError::Disconnected),
+                    Err(e) => return Err(FrameError::Io(e)),
+                }
+            }
+            let body = std::mem::take(&mut self.body);
+            self.len_got = 0;
+            self.body_got = 0;
+            self.in_body = false;
+            return String::from_utf8(body)
+                .map(Some)
+                .map_err(|e| FrameError::Malformed(format!("frame is not UTF-8: {e}")));
+        }
+    }
 }
 
 #[cfg(test)]
@@ -249,11 +442,14 @@ mod tests {
     fn request_roundtrips_through_json() {
         for req in [
             Request::join(7, 1_000, 10_000),
-            Request::leave(8, 3),
+            Request::leave(8, 3).with_set("alpha"),
             Request::reweight(9, 3, 2_000, 20_000),
             Request::bare(Op::Stats, 10),
-            Request::bare(Op::Subscribe, 11),
-            Request::bare(Op::Shutdown, 12),
+            Request::bare(Op::Subscribe, 11).with_set("beta"),
+            Request::bare(Op::CreateSet, 12).with_set("gamma"),
+            Request::bare(Op::DropSet, 13).with_set("gamma"),
+            Request::bare(Op::ListSets, 14),
+            Request::bare(Op::Shutdown, 15),
         ] {
             let json = serde_json::to_string(&req).unwrap();
             let back: Request = serde_json::from_str(&json).unwrap();
@@ -262,8 +458,18 @@ mod tests {
     }
 
     #[test]
+    fn legacy_request_without_set_field_parses_as_default_set() {
+        // A pre-multi-set client's frame: no `set` key at all.
+        let json = r#"{"op":"Join","nonce":3,"task":null,"wcet_us":1000,"period_us":4000}"#;
+        let req: Request = serde_json::from_str(json).unwrap();
+        assert_eq!(req.set, None);
+        assert_eq!(req.set_name(), DEFAULT_SET);
+    }
+
+    #[test]
     fn reply_roundtrips_through_json() {
         let mut reply = Reply::new(42, Status::Admitted, 17);
+        reply.set = Some("alpha".to_string());
         reply.task = Some(5);
         reply.weight_num = Some(2);
         reply.weight_den = Some(10);
@@ -273,6 +479,12 @@ mod tests {
         let json = serde_json::to_string(&reply).unwrap();
         let back: Reply = serde_json::from_str(&json).unwrap();
         assert_eq!(back, reply);
+
+        let mut list = Reply::new(1, Status::SetList, 0);
+        list.sets = Some(vec!["alpha".to_string(), "default".to_string()]);
+        let json = serde_json::to_string(&list).unwrap();
+        let back: Reply = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, list);
     }
 
     #[test]
@@ -283,23 +495,75 @@ mod tests {
         let mut r = &buf[..];
         assert_eq!(read_frame(&mut r).unwrap().as_deref(), Some("{\"a\":1}"));
         assert_eq!(read_frame(&mut r).unwrap().as_deref(), Some("xyz"));
-        assert_eq!(read_frame(&mut r).unwrap(), None);
+        assert!(read_frame(&mut r).unwrap().is_none());
     }
 
     #[test]
-    fn oversized_length_prefix_is_an_error_not_an_allocation() {
+    fn oversized_length_prefix_is_malformed_not_an_allocation() {
         let mut buf = Vec::new();
         buf.extend_from_slice(&u32::MAX.to_le_bytes());
         let mut r = &buf[..];
-        assert!(read_frame(&mut r).is_err());
+        assert!(matches!(read_frame(&mut r), Err(FrameError::Malformed(_))));
     }
 
     #[test]
-    fn truncated_frame_is_an_error() {
+    fn truncated_frame_is_a_disconnect_not_a_raw_io_error() {
+        // Peer dies mid-body.
         let mut buf = Vec::new();
         write_frame(&mut buf, "abcdef").unwrap();
         buf.truncate(buf.len() - 2);
         let mut r = &buf[..];
-        assert!(read_frame(&mut r).is_err());
+        assert!(matches!(read_frame(&mut r), Err(FrameError::Disconnected)));
+        // Peer dies mid-length-prefix.
+        let short = [1u8, 0];
+        let mut r = &short[..];
+        assert!(matches!(read_frame(&mut r), Err(FrameError::Disconnected)));
+    }
+
+    #[test]
+    fn frame_reader_survives_arbitrary_fragmentation() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, "{\"hello\":\"world\"}").unwrap();
+        write_frame(&mut buf, "second").unwrap();
+        // Feed one byte at a time through a reader that "would block"
+        // between every byte: no partial progress may be lost.
+        struct OneByte<'a>(&'a [u8], bool);
+        impl Read for OneByte<'_> {
+            fn read(&mut self, out: &mut [u8]) -> io::Result<usize> {
+                if self.1 {
+                    self.1 = false;
+                    return Err(io::Error::from(io::ErrorKind::WouldBlock));
+                }
+                self.1 = true;
+                if self.0.is_empty() {
+                    return Ok(0);
+                }
+                out[0] = self.0[0];
+                self.0 = &self.0[1..];
+                Ok(1)
+            }
+        }
+        let mut src = OneByte(&buf, false);
+        let mut reader = FrameReader::new();
+        let mut frames = Vec::new();
+        loop {
+            match reader.poll(&mut src) {
+                Ok(Some(f)) => frames.push(f),
+                Ok(None) => continue,
+                Err(FrameError::Closed) => break,
+                Err(e) => panic!("unexpected frame error: {e}"),
+            }
+        }
+        assert_eq!(frames, vec!["{\"hello\":\"world\"}", "second"]);
+        assert!(!reader.mid_frame());
+    }
+
+    #[test]
+    fn non_utf8_frame_is_malformed() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&3u32.to_le_bytes());
+        buf.extend_from_slice(&[0xff, 0xfe, 0xfd]);
+        let mut r = &buf[..];
+        assert!(matches!(read_frame(&mut r), Err(FrameError::Malformed(_))));
     }
 }

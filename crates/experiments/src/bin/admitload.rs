@@ -10,16 +10,21 @@
 //!
 //! ```text
 //! admitload --socket /tmp/admit.sock --requests 100000 --seed 1
-//!           [--window 64] [--max-active 512] [--burst-rate 0.2]
-//!           [--burst-max 32] [--periods 10000,20000,40000,80000]
+//!           [--set alpha] [--window 64] [--max-active 512]
+//!           [--burst-rate 0.2] [--burst-max 32]
+//!           [--periods 10000,20000,40000,80000]
+//! admitload --tcp 127.0.0.1:7133 [same options]
 //! ```
+//!
+//! `--tcp <addr:port>` drives a TCP daemon instead of a Unix socket;
+//! `--set <name>` aims every request at that task-set shard.
 //!
 //! Open-loop: up to `--window` requests are kept in flight regardless of
 //! replies. Exit code 1 if the daemon dies mid-run; a summary of
 //! admitted/rejected/left plus reply-latency percentiles prints at the
 //! end.
 
-use daemon::client::{ClientError, DaemonClient};
+use daemon::client::{ClientError, DaemonAddr, DaemonClient};
 use daemon::proto::{Reply, Request, Status};
 use faults::{FaultConfig, FaultPlan};
 use pfair_model::TaskId;
@@ -31,10 +36,15 @@ use experiments::Args;
 
 fn main() {
     let args = Args::parse();
-    let Some(socket) = args.get("socket") else {
-        eprintln!("admitload: --socket <path> is required");
-        std::process::exit(2);
+    let addr = match (args.get("socket"), args.get("tcp")) {
+        (Some(path), None) => DaemonAddr::Unix(path.into()),
+        (None, Some(a)) => DaemonAddr::Tcp(a.to_string()),
+        _ => {
+            eprintln!("admitload: exactly one of --socket <path> or --tcp <addr:port> is required");
+            std::process::exit(2);
+        }
     };
+    let set = args.get("set");
     let requests: u64 = args.get_or("requests", 100_000);
     let seed: u64 = args.get_or("seed", 1);
     let window: usize = args.get_or("window", 64);
@@ -48,10 +58,10 @@ fn main() {
         .map(|p| p.trim().parse().expect("--periods must be integers"))
         .collect();
 
-    let mut client = match DaemonClient::connect(socket) {
+    let mut client = match DaemonClient::connect_to(&addr) {
         Ok(c) => c,
         Err(e) => {
-            eprintln!("admitload: connecting to {socket}: {e}");
+            eprintln!("admitload: connecting to {addr:?}: {e}");
             std::process::exit(2);
         }
     };
@@ -118,7 +128,7 @@ fn main() {
             )?;
 
             let nonce = client.take_nonce();
-            let req = if !active.is_empty()
+            let mut req = if !active.is_empty()
                 && (active.len() >= max_active || rng.gen_range(0.0..1.0) < 0.45)
             {
                 let victim = active[rng.gen_range(0..active.len())];
@@ -130,6 +140,9 @@ fn main() {
                 let wcet = (period as f64 * rng.gen_range(0.01..0.12)) as u64;
                 Request::join(nonce, wcet.max(1), period)
             };
+            if let Some(s) = set {
+                req = req.with_set(s);
+            }
             client.send(&req)?;
             inflight.push((nonce, Instant::now()));
 

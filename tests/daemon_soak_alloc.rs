@@ -1,8 +1,9 @@
 //! Soak acceptance: 10⁵ join/leave requests through a real Unix socket
-//! against an in-process daemon, with a counting global allocator
-//! proving the admission fast path (every `evaluate` pass, across every
-//! batch) performs **zero** heap allocations, and the resulting trace
-//! window-verified offline.
+//! against an in-process daemon running **two live task-set shards**,
+//! with a counting global allocator proving the admission fast path
+//! (every `evaluate` pass, across every batch of every set) performs
+//! **zero** heap allocations, and both resulting traces window-verified
+//! offline.
 //!
 //! The daemon marks its fast path with a thread-local flag
 //! ([`daemon::alloc_probe`]); the allocator installed here bumps
@@ -50,8 +51,8 @@ unsafe impl GlobalAlloc for CountingAlloc {
 static ALLOC: CountingAlloc = CountingAlloc;
 
 const REQUESTS: u64 = 100_000;
-const WINDOW: usize = 128;
-const MAX_ACTIVE: usize = 400;
+const WINDOW: usize = 64; // per connection; two connections in flight
+const MAX_ACTIVE: usize = 200; // per set
 
 #[test]
 fn soak_100k_requests_alloc_free_fast_path_and_verified_trace() {
@@ -63,11 +64,23 @@ fn soak_100k_requests_alloc_free_fast_path_and_verified_trace() {
     cfg.core.record_trace = true;
     let server = std::thread::spawn(move || server::run(cfg).expect("server run"));
 
-    let mut client = DaemonClient::connect_retry(&socket, std::time::Duration::from_secs(10))
+    let mut main = DaemonClient::connect_retry(&socket, std::time::Duration::from_secs(10))
         .expect("daemon socket");
+    // Second live set: half the traffic targets `side`, so the
+    // zero-alloc property is proven with ≥2 sets decided per loop.
+    let created = main.create_set("side").expect("create side set");
+    assert!(
+        matches!(created.status, Status::SetCreated),
+        "{:?}",
+        created.error
+    );
+    let mut side = DaemonClient::connect_retry(&socket, std::time::Duration::from_secs(10))
+        .expect("daemon socket");
+    side.set_scope(Some("side"));
 
-    // Deterministic join/leave mix, pipelined WINDOW deep. A small LCG
-    // keeps the stream seeded without pulling rand into this test.
+    // Deterministic join/leave mix, pipelined WINDOW deep per
+    // connection. A small LCG keeps the stream seeded without pulling
+    // rand into this test.
     let mut state = 0x2545_F491_4F6C_DD1D_u64;
     let mut rng = move || {
         state ^= state << 13;
@@ -75,8 +88,8 @@ fn soak_100k_requests_alloc_free_fast_path_and_verified_trace() {
         state ^= state << 17;
         state
     };
-    let mut active: Vec<u32> = Vec::new();
-    let mut inflight = 0usize;
+    let mut active: [Vec<u32>; 2] = [Vec::new(), Vec::new()];
+    let mut inflight = [0usize; 2];
     let (mut admitted, mut rejected, mut left, mut errors) = (0u64, 0u64, 0u64, 0u64);
 
     let mut drain =
@@ -99,12 +112,17 @@ fn soak_100k_requests_alloc_free_fast_path_and_verified_trace() {
             }
         };
 
-    for _ in 0..REQUESTS {
-        drain(&mut client, &mut inflight, &mut active, WINDOW - 1);
+    for k in 0..REQUESTS {
+        // Alternate sets request-by-request: both shards stay hot in
+        // every quantum of the soak.
+        let which = (k % 2) as usize;
+        let client = if which == 0 { &mut main } else { &mut side };
+        drain(client, &mut inflight[which], &mut active[which], WINDOW - 1);
         let nonce = client.take_nonce();
+        let active = &mut active[which];
         // Leave when crowded (or by coin toss with someone active);
         // otherwise join at a quantized weight between 1/100 and ~1/8.
-        let req = if !active.is_empty() && (active.len() >= MAX_ACTIVE || rng() % 100 < 45) {
+        let mut req = if !active.is_empty() && (active.len() >= MAX_ACTIVE || rng() % 100 < 45) {
             let victim = active.swap_remove((rng() % active.len() as u64) as usize);
             Request::leave(nonce, victim)
         } else {
@@ -112,35 +130,56 @@ fn soak_100k_requests_alloc_free_fast_path_and_verified_trace() {
             let exec_quanta = 1 + rng() % (period_quanta / 8).max(1);
             Request::join(nonce, exec_quanta * 1_000, period_quanta * 1_000)
         };
+        if which == 1 {
+            req = req.with_set("side");
+        }
         client.send(&req).expect("send");
-        inflight += 1;
+        inflight[which] += 1;
     }
-    drain(&mut client, &mut inflight, &mut active, 0);
+    drain(&mut main, &mut inflight[0], &mut active[0], 0);
+    drain(&mut side, &mut inflight[1], &mut active[1], 0);
 
     assert_eq!(admitted + rejected + left + errors, REQUESTS);
     // Leaves target live ids from *our* replies, so none may error; the
-    // only admissible errors would be duplicate-victim races, which a
-    // single connection never creates.
-    assert_eq!(errors, 0, "single-connection soak must not see errors");
+    // only admissible errors would be duplicate-victim races, which one
+    // connection per set never creates.
+    assert_eq!(
+        errors, 0,
+        "per-set single-connection soak must not see errors"
+    );
     assert!(admitted > 10_000, "soak actually admitted work: {admitted}");
     assert!(left > 10_000, "soak actually departed work: {left}");
 
-    let bye = client.shutdown().expect("shutdown");
+    let bye = main.shutdown().expect("shutdown");
     assert!(matches!(bye.status, Status::ShuttingDown));
     let report = server.join().expect("server thread");
 
-    // Acceptance #1: zero allocations anywhere inside the fast path.
+    // Acceptance #1: zero allocations anywhere inside the fast path —
+    // with two sets live the whole soak.
     assert_eq!(
         daemon::alloc_probe::take(),
         0,
         "admission fast path allocated"
     );
 
-    // Acceptance #2: every admitted set window-verifies — the full
-    // dynamic schedule replays clean offline.
-    let trace = report.trace.expect("server records a trace");
-    assert!(!trace.slots.is_empty(), "soak advanced the schedule");
-    trace.verify().expect("soak schedule window-verifies");
+    // Acceptance #2: *each* set window-verifies — both full dynamic
+    // schedules replay clean offline, independently.
+    assert_eq!(report.sets.len(), 2, "default + side live at shutdown");
+    for name in ["default", "side"] {
+        let set = report
+            .sets
+            .iter()
+            .find(|s| s.name == name && !s.dropped)
+            .unwrap_or_else(|| panic!("set {name} in the shutdown report"));
+        let trace = set
+            .trace
+            .as_ref()
+            .unwrap_or_else(|| panic!("set {name} records a trace"));
+        assert!(!trace.slots.is_empty(), "set {name} advanced the schedule");
+        trace
+            .verify()
+            .unwrap_or_else(|e| panic!("set {name} window-verifies: {e:?}"));
+    }
 
     std::fs::remove_file(&socket).ok();
 }

@@ -69,11 +69,16 @@ pub trait Deserialize: Sized {
 }
 
 /// Derive-internal helper: fetches and deserializes an object field.
+///
+/// A *missing* field deserializes as if it were `null`, which only
+/// `Option` fields accept — so adding an `Option` field to a wire struct
+/// stays backward compatible with peers that never send it, while a
+/// missing required field still errors by name.
 pub fn field<T: Deserialize>(v: &Value, name: &str) -> Result<T, DeError> {
-    let f = v
-        .get(name)
-        .ok_or_else(|| DeError(format!("missing field `{name}`")))?;
-    T::from_value(f).map_err(|DeError(e)| DeError(format!("field `{name}`: {e}")))
+    match v.get(name) {
+        Some(f) => T::from_value(f).map_err(|DeError(e)| DeError(format!("field `{name}`: {e}"))),
+        None => T::from_value(&Value::Null).map_err(|_| DeError(format!("missing field `{name}`"))),
+    }
 }
 
 // --- primitive impls ------------------------------------------------------
@@ -285,6 +290,17 @@ mod tests {
         assert_eq!(Vec::<(u64, u64)>::from_value(&v.to_value()), Ok(v));
         assert_eq!(Option::<u32>::from_value(&Value::Null), Ok(None));
         assert_eq!(Option::<u32>::from_value(&7u32.to_value()), Ok(Some(7)));
+    }
+
+    #[test]
+    fn missing_field_is_none_for_option_error_otherwise() {
+        let obj = Value::Obj(vec![("present".to_string(), Value::Int(1))]);
+        assert_eq!(field::<Option<u32>>(&obj, "absent"), Ok(None));
+        assert_eq!(field::<Option<u32>>(&obj, "present"), Ok(Some(1)));
+        assert!(field::<u32>(&obj, "absent")
+            .unwrap_err()
+            .0
+            .contains("missing field"));
     }
 
     #[test]
